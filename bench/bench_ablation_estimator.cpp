@@ -1,0 +1,104 @@
+// Ablation — Chebyshev bound vs Gaussian-assumption estimator.
+// The paper argues for the distribution-free Chebyshev bound: it is loose,
+// which makes the sampler conservative; assuming normal deltas yields much
+// smaller beta estimates, hence longer intervals (more savings) but a real
+// mis-detection risk when the delta distribution is heavier-tailed than
+// normal (which bursty traffic is). Also sweeps the statistics restart
+// window (the paper restarts at n > 1000).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "tasks/network_task.h"
+
+namespace volley {
+namespace {
+
+std::vector<VmTraffic> make_traffic() {
+  NetworkWorkloadOptions options;
+  options.netflow.vms = 8;
+  options.netflow.ticks = 11520;
+  options.netflow.ticks_per_day = 5760;
+  options.netflow.diurnal_phase = 2880;
+  options.netflow.diurnal_depth = 0.96;
+  options.netflow.mean_flows_per_tick = 10.0;
+  options.netflow.off_rate = 1.0 / 1200.0;
+  options.netflow.on_rate = 1.0 / 1200.0;
+  options.netflow.off_floor = 0.005;
+  options.netflow.seed = 151;
+  options.attack_prototype.peak_syn_rate = 2500.0;
+  options.attacks_per_vm = 3;
+  options.seed = 153;
+  return NetworkWorkload(options).generate_traffic();
+}
+
+struct CellResult {
+  double ratio{0};
+  double miss{0};
+};
+
+CellResult run_cell(const std::vector<VmTraffic>& traffic,
+                    ViolationLikelihoodEstimator::Bound bound,
+                    std::int64_t stats_window, double err) {
+  CellResult cell;
+  std::int64_t n = 0;
+  for (const auto& vm : traffic) {
+    VmTraffic copy;
+    copy.rho = vm.rho;
+    copy.in_packets = vm.in_packets;
+    auto task = NetworkWorkload::make_task(std::move(copy), 0.5, err);
+    task.spec.max_interval = 40;
+    task.spec.estimator.bound = bound;
+    task.spec.estimator.stats_window = stats_window;
+    const auto r = run_volley_single(task.spec, task.traffic.rho);
+    cell.ratio += r.sampling_ratio();
+    cell.miss += r.episode_miss_rate();
+    ++n;
+  }
+  cell.ratio /= static_cast<double>(n);
+  cell.miss /= static_cast<double>(n);
+  return cell;
+}
+
+void run() {
+  const auto traffic = make_traffic();
+
+  bench::print_header(
+      "Ablation — Chebyshev vs Gaussian likelihood bound; stats window",
+      "Chebyshev (paper's choice) is conservative: higher ratio, miss rate "
+      "within err; Gaussian saves more but can overshoot the allowance");
+
+  bench::print_row({"estimator/err", "ratio", "miss", "err target"});
+  for (double err : {0.002, 0.01, 0.032}) {
+    const auto cheb = run_cell(
+        traffic, ViolationLikelihoodEstimator::Bound::kChebyshev, 240, err);
+    const auto gauss = run_cell(
+        traffic, ViolationLikelihoodEstimator::Bound::kGaussian, 240, err);
+    bench::print_row({"chebyshev", bench::fmt(cheb.ratio, 3),
+                      bench::fmt_pct(cheb.miss, 2), bench::fmt(err, 3)});
+    bench::print_row({"gaussian", bench::fmt(gauss.ratio, 3),
+                      bench::fmt_pct(gauss.miss, 2), bench::fmt(err, 3)});
+  }
+
+  std::printf("\nstatistics restart window (Chebyshev, err=0.01; paper "
+              "restarts at n > 1000):\n");
+  bench::print_row({"window", "ratio", "miss"});
+  for (std::int64_t window : {60, 240, 1000, 4000}) {
+    const auto cell = run_cell(
+        traffic, ViolationLikelihoodEstimator::Bound::kChebyshev, window,
+        0.01);
+    bench::print_row({std::to_string(window), bench::fmt(cell.ratio, 3),
+                      bench::fmt_pct(cell.miss, 2)});
+  }
+  std::printf("\n(short windows adapt to regime switches -> more savings on "
+              "session-structured traffic; the paper's 1000 suits slowly "
+              "varying loads)\n");
+}
+
+}  // namespace
+}  // namespace volley
+
+int main() {
+  volley::run();
+  return 0;
+}

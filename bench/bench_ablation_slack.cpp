@@ -1,0 +1,76 @@
+// Ablation — the adaptation knobs gamma (slack ratio) and p (patience).
+// The paper recommends gamma = 0.2, p = 20 "through empirical observation"
+// (Section III-B); this bench shows the trade-off that recommendation
+// balances: small gamma/p grow aggressively (more savings, more risk of
+// interval churn and missed alerts), large gamma/p are conservative.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/runner.h"
+#include "tasks/network_task.h"
+
+namespace volley {
+namespace {
+
+void run() {
+  NetworkWorkloadOptions options;
+  options.netflow.vms = 8;
+  options.netflow.ticks = 11520;
+  options.netflow.ticks_per_day = 5760;
+  options.netflow.diurnal_phase = 2880;
+  options.netflow.diurnal_depth = 0.96;
+  options.netflow.mean_flows_per_tick = 10.0;
+  options.netflow.off_rate = 1.0 / 1200.0;
+  options.netflow.on_rate = 1.0 / 1200.0;
+  options.netflow.off_floor = 0.005;
+  options.netflow.seed = 141;
+  options.attack_prototype.peak_syn_rate = 2500.0;
+  options.attacks_per_vm = 3;
+  options.seed = 143;
+  NetworkWorkload workload(options);
+  const auto traffic = workload.generate_traffic();
+
+  bench::print_header(
+      "Ablation — slack ratio gamma and patience p (network task, err=0.01)",
+      "paper picks gamma=0.2, p=20: near-best savings without the "
+      "mis-detection risk of gamma=0 or p=1");
+
+  bench::print_row({"gamma \\ p", "1", "5", "20", "50"});
+  for (double gamma : {0.0, 0.1, 0.2, 0.35, 0.5}) {
+    std::vector<std::string> ratio_row{bench::fmt(gamma, 2)};
+    std::vector<std::string> miss_row{"  miss%"};
+    for (int patience : {1, 5, 20, 50}) {
+      double ratio_sum = 0.0, miss_sum = 0.0;
+      std::int64_t n = 0;
+      for (const auto& vm : traffic) {
+        VmTraffic copy;
+        copy.rho = vm.rho;
+        copy.in_packets = vm.in_packets;
+        auto task = NetworkWorkload::make_task(std::move(copy), 0.5, 0.01);
+        task.spec.max_interval = 40;
+        task.spec.slack_ratio = gamma;
+        task.spec.patience = patience;
+        task.spec.estimator.stats_window = 240;
+        const auto r = run_volley_single(task.spec, task.traffic.rho);
+        ratio_sum += r.sampling_ratio();
+        miss_sum += r.episode_miss_rate();
+        ++n;
+      }
+      ratio_row.push_back(bench::fmt(ratio_sum / static_cast<double>(n), 3));
+      miss_row.push_back(
+          bench::fmt_pct(miss_sum / static_cast<double>(n), 2));
+    }
+    bench::print_row(ratio_row);
+    bench::print_row(miss_row);
+  }
+  std::printf("\n(per gamma: top row = sampling ratio, bottom = missed alert "
+              "episodes)\n");
+}
+
+}  // namespace
+}  // namespace volley
+
+int main() {
+  volley::run();
+  return 0;
+}

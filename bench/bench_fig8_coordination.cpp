@@ -1,0 +1,106 @@
+// Figure 8 — distributed sampling coordination: total sampling ratio of a
+// 10-monitor task as the skew of per-monitor local violation rates grows
+// from uniform (0) to Zipf(2.0), comparing
+//   even  — error allowance re-divided evenly every updating period,
+//   adapt — the paper's iterative yield-proportional reallocation
+//           (damped; see AdaptiveAllocation::Options::smoothing).
+// Paper: the even scheme degrades as skew grows; adapt reduces cost
+// significantly more by moving allowance from monitors with low
+// cost-reduction yield to those with high yield.
+//
+// Monitors watch traces of *different volatility* (like the paper's traces
+// (e) and (f)): the roughest trace receives the highest local violation
+// rate. Yield diversity across monitors is exactly what the adaptive
+// allocation exploits; with identical traces the schemes tie.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "sim/runner.h"
+
+namespace volley {
+namespace {
+
+/// Mean-reverting series; smaller theta => smoother trace whose value
+/// distribution is many delta-sigmas wide (cheap to monitor sparsely).
+TimeSeries make_series(Tick ticks, std::uint64_t seed, double theta) {
+  Rng rng(seed);
+  TimeSeries s(static_cast<std::size_t>(ticks));
+  double x = 0.0;
+  for (Tick t = 0; t < ticks; ++t) {
+    x += theta * (0.0 - x) + rng.normal(0.0, 1.0);
+    s[static_cast<std::size_t>(t)] = x;
+  }
+  return s;
+}
+
+void run() {
+  constexpr std::size_t kMonitors = 10;
+  constexpr Tick kTicks = 40000;
+  constexpr double kTotalViolationShare = 0.05;  // 5% of ticks fleet-wide
+  constexpr double kErr = 0.02;
+
+  std::vector<TimeSeries> series;
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    // Roughest first (theta 0.05) down to smoothest (theta 0.0005).
+    const double theta =
+        0.05 * std::pow(0.01, static_cast<double>(m) /
+                                  static_cast<double>(kMonitors - 1));
+    series.push_back(make_series(kTicks, 1000 + m, theta));
+  }
+
+  bench::print_header(
+      "Figure 8 — error-allowance coordination under skewed local violation "
+      "rates",
+      "'adapt' outperforms 'even'; the gap grows with skew (paper Fig. 8)");
+  std::printf("%zu monitors of decreasing volatility, %lld ticks, err=%.2f; "
+              "local violation rates ~ Zipf(skew), total share %.0f%%, "
+              "roughest monitor gets the highest rate\n\n",
+              kMonitors, static_cast<long long>(kTicks), kErr,
+              100.0 * kTotalViolationShare);
+
+  bench::print_row({"skew", "even", "adapt", "adapt gain"});
+
+  for (double skew : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfDistribution zipf(kMonitors, skew);
+    std::vector<double> locals(kMonitors);
+    double global_threshold = 0.0;
+    for (std::size_t m = 0; m < kMonitors; ++m) {
+      // pmf sums to 1 over monitors, so per-monitor rates sum to the total.
+      const double rate = kTotalViolationShare * zipf.pmf(m + 1);
+      const double k_percent = std::min(100.0 * rate, 50.0);
+      locals[m] = series[m].threshold_for_selectivity(k_percent);
+      global_threshold += locals[m];
+    }
+
+    TaskSpec spec;
+    spec.global_threshold = global_threshold;
+    spec.error_allowance = kErr;
+    spec.max_interval = 40;
+    spec.updating_period = 1000;
+
+    RunOptions even;
+    even.allocator = AllocatorKind::kEven;
+    RunOptions adapt;
+    adapt.allocator = AllocatorKind::kAdaptive;
+    const auto r_even = run_volley(spec, series, locals, even);
+    const auto r_adapt = run_volley(spec, series, locals, adapt);
+
+    bench::print_row(
+        {bench::fmt(skew, 1), bench::fmt(r_even.sampling_ratio(), 3),
+         bench::fmt(r_adapt.sampling_ratio(), 3),
+         bench::fmt_pct(1.0 - r_adapt.sampling_ratio() /
+                                  std::max(r_even.sampling_ratio(), 1e-12))});
+  }
+  std::printf("\n(ratio = task ops incl. global polls / periodic ops; "
+              "adapt gain = relative op reduction vs even)\n");
+}
+
+}  // namespace
+}  // namespace volley
+
+int main() {
+  volley::run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Microbenchmarks backing the paper's claim that violation-likelihood
+// estimation adds negligible overhead compared to sampling itself
+// (Section III-B "cost of the dynamic sampling algorithm"). google-benchmark
+// binary: reports ns/op for the estimator, the full sampler step, the online
+// statistics update and the coordinator's allocation step.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/adaptive_sampler.h"
+#include "core/error_allocation.h"
+#include "core/likelihood.h"
+#include "stats/online_stats.h"
+
+namespace volley {
+namespace {
+
+void BM_OnlineStatsAdd(benchmark::State& state) {
+  OnlineStats stats;
+  double x = 0.123;
+  for (auto _ : state) {
+    stats.add(x);
+    x += 1e-9;
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_OnlineStatsAdd);
+
+void BM_EstimatorObserve(benchmark::State& state) {
+  ViolationLikelihoodEstimator est;
+  Rng rng(1);
+  double v = 0.0;
+  for (auto _ : state) {
+    v += rng.normal(0.0, 1.0);
+    est.observe(v, 1);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_EstimatorObserve);
+
+void BM_BetaBound(benchmark::State& state) {
+  const Tick interval = state.range(0);
+  ViolationLikelihoodEstimator est;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) est.observe(rng.normal(0.0, 1.0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.beta_bound(50.0, interval));
+  }
+}
+BENCHMARK(BM_BetaBound)->Arg(1)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_SamplerObserve(benchmark::State& state) {
+  AdaptiveSamplerOptions options;
+  options.error_allowance = 0.01;
+  options.max_interval = 40;
+  AdaptiveSampler sampler(options, 50.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.observe(rng.normal(0.0, 1.0), 1));
+  }
+}
+BENCHMARK(BM_SamplerObserve);
+
+void BM_AdaptiveAllocation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  AdaptiveAllocation allocator;
+  std::vector<double> current(n, 0.01 / static_cast<double>(n));
+  std::vector<CoordStats> stats(n);
+  Rng rng(4);
+  for (auto& s : stats) {
+    s.avg_gain = rng.uniform(0.0, 0.5);
+    s.avg_allowance = rng.uniform(1e-4, 0.01);
+    s.observations = 100;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(0.01, current, stats));
+  }
+}
+BENCHMARK(BM_AdaptiveAllocation)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(800, 1.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace volley

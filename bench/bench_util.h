@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benches: fixed-width table
+// printing and common workload recipes. Every bench prints
+//   (a) the paper's qualitative reference for that figure, and
+//   (b) the regenerated rows/series,
+// so EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace volley::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints one row of right-aligned cells, 12 chars wide, first cell 18.
+inline void print_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-18s" : "%12s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+}  // namespace volley::bench

@@ -1,0 +1,60 @@
+// Application-level SLA monitoring (paper Section V-A): watch the access
+// rate of a popular web object at 1-second granularity over a full day of
+// diurnal + flash-crowd traffic, and show how the sampling interval adapts
+// hour by hour — dense at peak, sparse in the off-peak valley.
+//
+//   build/examples/sla_monitoring
+#include <cstdio>
+#include <vector>
+
+#include "sim/runner.h"
+#include "tasks/app_task.h"
+
+using namespace volley;
+
+int main() {
+  HttpLogOptions options;
+  options.objects = 4;
+  options.ticks = 86400;  // one day at 1 s
+  options.ticks_per_day = 86400;
+  options.diurnal_phase = 43200;
+  options.diurnal_depth = 0.97;
+  options.mean_rps = 25.0;
+  options.flash_boost = 6.0;
+  options.flash.mean_gap = 9000;
+  options.seed = 23;
+  HttpLogGenerator generator(options);
+  const auto traces = generator.generate();
+
+  auto task = make_app_task(traces[0], 0, 0.5, 0.01);
+  task.spec.max_interval = 30;
+  task.spec.estimator.stats_window = 300;
+
+  RunOptions run_options;
+  run_options.record_ops = true;
+  const auto r = run_volley_single(task.spec, task.series, run_options);
+
+  std::printf("SLA task: alert when object-0 access rate > %.0f req/s "
+              "(p99.5 of the day), err = 1%%\n\n",
+              task.threshold);
+  std::printf("hour   avg rate   samples   avg interval\n");
+  std::vector<int> ops_per_hour(24, 0);
+  for (Tick t : r.op_ticks[0]) ops_per_hour[static_cast<std::size_t>(t / 3600)]++;
+  for (int h = 0; h < 24; ++h) {
+    double rate = 0;
+    for (int s = 0; s < 3600; ++s) {
+      rate += task.series[static_cast<std::size_t>(h * 3600 + s)];
+    }
+    rate /= 3600.0;
+    const int ops = ops_per_hour[static_cast<std::size_t>(h)];
+    std::printf("%4d   %8.1f   %7d   %9.1f s\n", h, rate, ops,
+                ops > 0 ? 3600.0 / ops : 0.0);
+  }
+  std::printf("\ntotal: %lld ops = %.1f%% of periodic 1 Hz sampling; "
+              "missed alert episodes: %lld/%lld\n",
+              static_cast<long long>(r.total_ops()),
+              100.0 * r.sampling_ratio(),
+              static_cast<long long>(r.true_episodes - r.detected_episodes),
+              static_cast<long long>(r.true_episodes));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Time types shared across the Volley library.
+//
+// The monitoring algorithms (src/core) operate in units of the task's
+// *default sampling interval* Id — the paper measures every interval I as an
+// integer count of Id (Section III-A). We make that unit a strong type,
+// `Tick`, so interval arithmetic cannot be accidentally mixed with seconds.
+//
+// The discrete-event simulator (src/sim) and socket runtime (src/net) work
+// in seconds (`SimTime`); conversion happens only at the task layer, where
+// each task knows its Id in seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace volley {
+
+/// A count of default sampling intervals (Id). Tick 0 is the task start.
+using Tick = std::int64_t;
+
+/// Simulated (or wall-clock) time in seconds.
+using SimTime = double;
+
+/// Task specification carries its default interval in seconds so layers can
+/// convert: seconds = ticks * id_seconds.
+struct TickScale {
+  double id_seconds{1.0};
+
+  [[nodiscard]] constexpr SimTime to_seconds(Tick t) const {
+    return static_cast<SimTime>(t) * id_seconds;
+  }
+  [[nodiscard]] constexpr Tick to_ticks(SimTime s) const {
+    return static_cast<Tick>(s / id_seconds);
+  }
+};
+
+}  // namespace volley

@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace volley {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace volley

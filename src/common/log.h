@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default (benches print their own tables);
+// the socket runtime and examples use this for diagnostics. The logger is a
+// process-wide singleton guarded by a mutex — log volume in this project is
+// low (protocol events, not per-sample traffic), so contention is a non-issue.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace volley {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Writes one line: "[LEVEL] component: message\n" to stderr.
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarn};
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+#define VOLLEY_LOG(lvl_, component_, ...)                               \
+  do {                                                                  \
+    if (static_cast<int>(lvl_) >=                                       \
+        static_cast<int>(::volley::Logger::instance().level())) {       \
+      ::volley::Logger::instance().log(                                 \
+          lvl_, component_, ::volley::detail::concat(__VA_ARGS__));     \
+    }                                                                   \
+  } while (0)
+
+#define VLOG_DEBUG(component, ...) \
+  VOLLEY_LOG(::volley::LogLevel::kDebug, component, __VA_ARGS__)
+#define VLOG_INFO(component, ...) \
+  VOLLEY_LOG(::volley::LogLevel::kInfo, component, __VA_ARGS__)
+#define VLOG_WARN(component, ...) \
+  VOLLEY_LOG(::volley::LogLevel::kWarn, component, __VA_ARGS__)
+#define VLOG_ERROR(component, ...) \
+  VOLLEY_LOG(::volley::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace volley

@@ -1,0 +1,63 @@
+// Fixed-capacity circular buffer.
+//
+// Used by the correlation detector (recent aligned state histories) and by
+// the distributed coordination layer (recent r_i / e_i observations within
+// an updating period). Overwrites the oldest element when full.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace volley {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity), capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("RingBuffer: capacity must be > 0");
+  }
+
+  void push(T value) {
+    buf_[(head_ + size_) % capacity_] = std::move(value);
+    if (size_ == capacity_) {
+      head_ = (head_ + 1) % capacity_;
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Element i, 0 = oldest, size()-1 = newest.
+  const T& operator[](std::size_t i) const { return buf_[(head_ + i) % capacity_]; }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies contents oldest-first into a vector (for analysis code).
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t capacity_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace volley

@@ -1,0 +1,36 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (skew < 0.0) throw std::invalid_argument("ZipfDistribution: skew >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), skew);
+    cdf_[r - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  if (rank < 1 || rank > cdf_.size())
+    throw std::out_of_range("ZipfDistribution::pmf: rank out of range");
+  const double hi = cdf_[rank - 1];
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return hi - lo;
+}
+
+}  // namespace volley

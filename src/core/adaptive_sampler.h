@@ -1,0 +1,85 @@
+// Monitor-level violation-likelihood based sampling adaptation
+// (paper Section III-B, Figure 2).
+//
+// The sampler owns a ViolationLikelihoodEstimator and applies the paper's
+// AIMD-like rule after every sampling operation:
+//
+//   beta = beta_bound(I)            // upper bound of the mis-detection rate
+//   if beta > err:                  // unsafe -> multiplicative decrease
+//       I <- 1 (the default interval), streak <- 0
+//   elif beta <= (1 - gamma) * err: // comfortably safe
+//       if ++streak >= p: I <- min(I + 1, Im), streak <- 0   // additive inc.
+//   else:                           // safe but within the slack band
+//       streak <- 0
+//
+// Defaults gamma = 0.2 and p = 20 are the paper's recommended practice.
+// All intervals are integer multiples of the default interval Id (Tick).
+//
+// The sampler also exports the two statistics the distributed coordination
+// layer needs (Section IV-B):
+//   r_i = 1/I - 1/(I+1)   cost-reduction gain of growing the interval by one
+//                          (zero when already at Im — no growth possible);
+//   e_i = beta / (1-gamma) error allowance that growth would require
+//                          (inverts the increase rule above).
+#pragma once
+
+#include <cstdint>
+
+#include "core/likelihood.h"
+#include "core/types.h"
+
+namespace volley {
+
+struct AdaptiveSamplerOptions {
+  double error_allowance{0.01};  // err, in [0, 1]
+  double slack_ratio{0.2};       // gamma, in [0, 1)
+  int patience{20};              // p, consecutive safe checks before growth
+  Tick max_interval{40};         // Im, in default intervals
+  ViolationLikelihoodEstimator::Options estimator{};
+
+  void validate() const;
+};
+
+class AdaptiveSampler {
+ public:
+  AdaptiveSampler(const AdaptiveSamplerOptions& options, double threshold);
+
+  /// Records a sampled value observed `gap` ticks after the previous sample
+  /// and applies the adaptation rule. Returns the interval (ticks) to wait
+  /// before the next scheduled sample.
+  Tick observe(double value, Tick gap);
+
+  /// Current sampling interval in ticks.
+  Tick interval() const { return interval_; }
+
+  /// beta_bound(I) computed at the most recent observe() call; 1 before any.
+  double last_beta() const { return last_beta_; }
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  double error_allowance() const { return options_.error_allowance; }
+  /// Used by the coordinator when reallocating the task-level allowance.
+  void set_error_allowance(double err);
+
+  /// r_i of Section IV-B; zero when the interval is pinned at Im.
+  double cost_reduction_gain() const;
+  /// e_i of Section IV-B.
+  double allowance_to_grow() const;
+
+  const ViolationLikelihoodEstimator& estimator() const { return estimator_; }
+  int safe_streak() const { return safe_streak_; }
+
+  /// Resets interval, streak and statistics (threshold and options remain).
+  void reset();
+
+ private:
+  AdaptiveSamplerOptions options_;
+  double threshold_;
+  ViolationLikelihoodEstimator estimator_;
+  Tick interval_{1};
+  int safe_streak_{0};
+  double last_beta_{1.0};
+};
+
+}  // namespace volley

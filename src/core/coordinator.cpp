@@ -1,0 +1,80 @@
+#include "core/coordinator.h"
+
+#include <stdexcept>
+
+namespace volley {
+
+Coordinator::Coordinator(const TaskSpec& spec,
+                         std::vector<std::unique_ptr<Monitor>> monitors,
+                         std::unique_ptr<AllowanceAllocator> allocator)
+    : spec_(spec), monitors_(std::move(monitors)),
+      allocator_(std::move(allocator)) {
+  spec_.validate();
+  if (monitors_.empty())
+    throw std::invalid_argument("Coordinator: needs at least one monitor");
+  // Initial allocation: even split (Section IV-B, Figure 3 step 1).
+  const double share =
+      spec_.error_allowance / static_cast<double>(monitors_.size());
+  allocation_.assign(monitors_.size(), share);
+  for (auto& m : monitors_) m->set_error_allowance(share);
+  next_update_ = spec_.updating_period;
+}
+
+Coordinator::TickResult Coordinator::run_tick(Tick t) {
+  TickResult result;
+  for (auto& m : monitors_) {
+    if (!m->due(t)) continue;
+    const auto outcome = m->step(t);
+    result.any_due = true;
+    if (outcome.local_violation) ++result.local_violations;
+  }
+
+  if (result.local_violations > 0) {
+    // Global poll: collect the value of every monitor at this tick. The
+    // monitors that just sampled serve their datum from cache; the rest
+    // pay one forced sampling operation each.
+    result.global_poll = true;
+    ++global_polls_;
+    double sum = 0.0;
+    for (auto& m : monitors_) {
+      sum += m->force_sample(t).sample.value;
+    }
+    result.global_value = sum;
+    result.global_violation = sum > spec_.global_threshold;
+    if (result.global_violation) ++global_violations_;
+  }
+
+  maybe_reallocate(t);
+  return result;
+}
+
+void Coordinator::maybe_reallocate(Tick t) {
+  if (t < next_update_) return;
+  next_update_ = t + spec_.updating_period;
+  if (!allocator_) return;
+
+  std::vector<CoordStats> stats;
+  stats.reserve(monitors_.size());
+  for (auto& m : monitors_) stats.push_back(m->drain_coord_stats());
+
+  allocation_ = allocator_->allocate(spec_.error_allowance, allocation_,
+                                     stats);
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    monitors_[i]->set_error_allowance(allocation_[i]);
+  }
+  ++reallocations_;
+}
+
+std::int64_t Coordinator::total_ops() const {
+  std::int64_t ops = 0;
+  for (const auto& m : monitors_) ops += m->total_ops();
+  return ops;
+}
+
+double Coordinator::total_cost() const {
+  double cost = 0.0;
+  for (const auto& m : monitors_) cost += m->total_cost();
+  return cost;
+}
+
+}  // namespace volley

@@ -1,0 +1,75 @@
+// The coordinator of a distributed state monitoring task
+// (paper Sections II, IV; Figure 3).
+//
+// Responsibilities:
+//  * drive the task's monitors tick by tick (synchronous in-process runs;
+//    the socket runtime in src/net speaks the same protocol over TCP);
+//  * on any local violation, run a *global poll*: force-sample every
+//    monitor, aggregate, and compare against the global threshold T;
+//  * once per updating period (paper: 1000 Id), collect the averaged
+//    r_i / e_i statistics from all monitors and reallocate the task-level
+//    error allowance via the configured AllowanceAllocator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/error_allocation.h"
+#include "core/monitor.h"
+#include "core/task.h"
+#include "core/types.h"
+
+namespace volley {
+
+class Coordinator {
+ public:
+  struct TickResult {
+    bool any_due{false};          // at least one scheduled sample happened
+    int local_violations{0};      // local violations observed this tick
+    bool global_poll{false};      // a poll was triggered
+    double global_value{0.0};     // aggregate at poll time (if polled)
+    bool global_violation{false}; // aggregate exceeded T (if polled)
+  };
+
+  /// Takes ownership of the monitors; allocator may be null for a task that
+  /// never reallocates (fixed even split).
+  Coordinator(const TaskSpec& spec,
+              std::vector<std::unique_ptr<Monitor>> monitors,
+              std::unique_ptr<AllowanceAllocator> allocator);
+
+  /// Advances the task by one tick.
+  TickResult run_tick(Tick t);
+
+  const TaskSpec& spec() const { return spec_; }
+  std::size_t monitor_count() const { return monitors_.size(); }
+  const Monitor& monitor(std::size_t i) const { return *monitors_.at(i); }
+  Monitor& monitor(std::size_t i) { return *monitors_.at(i); }
+
+  /// Current per-monitor error-allowance allocation (sums to task err).
+  const std::vector<double>& allocation() const { return allocation_; }
+
+  // --- accounting -----------------------------------------------------
+  std::int64_t global_polls() const { return global_polls_; }
+  std::int64_t global_violations() const { return global_violations_; }
+  std::int64_t reallocations() const { return reallocations_; }
+  /// Total sampling operations across all monitors (scheduled + forced).
+  std::int64_t total_ops() const;
+  /// Total abstract sampling cost across all monitors.
+  double total_cost() const;
+
+ private:
+  void maybe_reallocate(Tick t);
+
+  TaskSpec spec_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::unique_ptr<AllowanceAllocator> allocator_;
+  std::vector<double> allocation_;
+  Tick next_update_{0};
+
+  std::int64_t global_polls_{0};
+  std::int64_t global_violations_{0};
+  std::int64_t reallocations_{0};
+};
+
+}  // namespace volley

@@ -1,0 +1,131 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/correlation.h"
+
+namespace volley {
+
+CorrelationScheduler::CorrelationScheduler(const Options& options)
+    : options_(options) {
+  if (options.history_window < options.min_history)
+    throw std::invalid_argument(
+        "CorrelationScheduler: history_window >= min_history");
+  if (options.min_correlation <= 0.0 || options.min_correlation > 1.0)
+    throw std::invalid_argument(
+        "CorrelationScheduler: min_correlation in (0,1]");
+  if (options.trigger_ratio <= 0.0)
+    throw std::invalid_argument("CorrelationScheduler: trigger_ratio > 0");
+  if (options.plan_period < 1 || options.cooldown < 0)
+    throw std::invalid_argument("CorrelationScheduler: bad periods");
+  next_plan_ = options.plan_period;
+}
+
+std::size_t CorrelationScheduler::add_task(double threshold,
+                                           double cost_per_sample) {
+  if (cost_per_sample <= 0.0)
+    throw std::invalid_argument("CorrelationScheduler: cost > 0");
+  TaskState state{threshold, cost_per_sample,
+                  RingBuffer<double>(options_.history_window),
+                  0.0, false, false, std::nullopt, 0};
+  tasks_.push_back(std::move(state));
+  return tasks_.size() - 1;
+}
+
+void CorrelationScheduler::observe(std::size_t task, double value) {
+  TaskState& s = tasks_.at(task);
+  s.last_value = value;
+  s.has_value = true;
+  s.observed_this_tick = true;
+}
+
+void CorrelationScheduler::end_tick() {
+  for (auto& s : tasks_) {
+    // Tasks that did not report this tick repeat their latest known value
+    // so histories stay aligned on the common tick grid.
+    s.history.push(s.has_value ? s.last_value : 0.0);
+    s.observed_this_tick = false;
+  }
+  ++now_;
+  if (now_ >= next_plan_) {
+    rebuild_plan();
+    next_plan_ = now_ + options_.plan_period;
+  }
+  refresh_gates();
+}
+
+void CorrelationScheduler::rebuild_plan() {
+  plan_.clear();
+  const std::size_t n = tasks_.size();
+  // Candidate edges: leader strictly cheaper than follower, best lag >= 0
+  // (leader's history is predictive of the follower's), strong correlation.
+  std::vector<Edge> candidates;
+  for (std::size_t l = 0; l < n; ++l) {
+    for (std::size_t f = 0; f < n; ++f) {
+      if (l == f) continue;
+      if (tasks_[l].cost >= tasks_[f].cost) continue;
+      if (tasks_[l].history.size() < options_.min_history) continue;
+      const auto hl = tasks_[l].history.to_vector();
+      const auto hf = tasks_[f].history.to_vector();
+      const auto best = best_lag_correlation(hl, hf, options_.max_lag);
+      if (!best) continue;
+      if (best->corr < options_.min_correlation) continue;  // positive only
+      if (best->lag < 0) continue;  // follower would lead the leader
+      candidates.push_back(Edge{l, f, best->corr, best->lag});
+    }
+  }
+  // One gate per follower: maximize corr * (cost saved by resting follower).
+  std::sort(candidates.begin(), candidates.end(),
+            [this](const Edge& a, const Edge& b) {
+              const double sa = a.corr * tasks_[a.follower].cost;
+              const double sb = b.corr * tasks_[b.follower].cost;
+              return sa > sb;
+            });
+  std::vector<bool> follows(n, false);
+  std::vector<bool> leads(n, false);
+  for (const Edge& e : candidates) {
+    if (follows[e.follower]) continue;      // already gated
+    if (follows[e.leader]) continue;        // a gated task can't lead
+    if (leads[e.follower]) continue;        // a leader can't also rest
+    plan_.push_back(e);
+    follows[e.follower] = true;
+    leads[e.leader] = true;
+  }
+  // Re-bind gate pointers.
+  for (auto& s : tasks_) s.gate_edge.reset();
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    tasks_[plan_[i].follower].gate_edge = i;
+  }
+}
+
+void CorrelationScheduler::refresh_gates() {
+  for (auto& s : tasks_) {
+    if (!s.gate_edge) continue;
+    const Edge& e = plan_[*s.gate_edge];
+    const TaskState& leader = tasks_[e.leader];
+    const bool leader_hot =
+        leader.has_value &&
+        leader.last_value > options_.trigger_ratio * leader.threshold;
+    const bool self_hot =
+        s.has_value && s.last_value > options_.trigger_ratio * s.threshold;
+    if (leader_hot || self_hot) {
+      s.active_until = now_ + options_.cooldown;
+    }
+  }
+}
+
+bool CorrelationScheduler::suppressed(std::size_t task) const {
+  const TaskState& s = tasks_.at(task);
+  if (!s.gate_edge) return false;
+  return now_ >= s.active_until;
+}
+
+std::optional<CorrelationScheduler::Edge> CorrelationScheduler::gate_of(
+    std::size_t task) const {
+  const TaskState& s = tasks_.at(task);
+  if (!s.gate_edge) return std::nullopt;
+  return plan_[*s.gate_edge];
+}
+
+}  // namespace volley

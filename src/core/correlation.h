@@ -1,0 +1,107 @@
+// Multi-task state-correlation based sampling (paper Section II-B and the
+// "Multi-Task Level" bullet of Section II-C; the full design was deferred to
+// a technical report, so this module is a documented reconstruction —
+// see DESIGN.md "Substitutions").
+//
+// Idea from the paper: states of different tasks correlate (growing DDoS
+// traffic asymmetry implies growing response time). When task L (cheap) is a
+// *necessary-condition indicator* for task F (expensive), F only needs high
+// frequency sampling while L suggests high violation likelihood; otherwise F
+// can rest at its maximum interval.
+//
+// Reconstruction:
+//  * Detection: per task we retain a bounded history of state values on a
+//    common tick grid; every `plan_period` ticks we compute the best-lag
+//    Pearson correlation for each ordered pair (L leads F when the best lag
+//    is >= 0) and keep edges with |corr| >= min_correlation. Each follower
+//    is gated by the single admissible leader maximizing
+//    corr * (follower cost saved), and a task never both leads and follows
+//    the same partner (no 2-cycles).
+//  * Gating: follower F is *suppressed* (sampling clamped to its rest
+//    interval) while its leader's latest value stays below trigger_ratio *
+//    leader_threshold AND F's own latest value stays below trigger_ratio *
+//    F_threshold (self-guard). When either trigger fires, F becomes active
+//    for at least `cooldown` ticks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ring_buffer.h"
+
+namespace volley {
+
+class CorrelationScheduler {
+ public:
+  struct Options {
+    std::size_t history_window{512};  // ticks of retained state history
+    int max_lag{16};                  // lag scan range for detection
+    double min_correlation{0.8};      // edge admission threshold
+    double trigger_ratio{0.7};        // wake when value > ratio * threshold
+    Tick plan_period{256};            // ticks between plan rebuilds
+    Tick cooldown{64};                // ticks a woken follower stays active
+    std::size_t min_history{64};      // ticks required before planning
+  };
+
+  struct Edge {
+    std::size_t leader{0};
+    std::size_t follower{0};
+    double corr{0.0};
+    int lag{0};  // >= 0: leader's series leads the follower's
+  };
+
+  CorrelationScheduler() : CorrelationScheduler(Options{}) {}
+  explicit CorrelationScheduler(const Options& options);
+
+  /// Registers a task; returns its index. `cost_per_sample` is the abstract
+  /// cost of one sampling operation of this task (drives edge selection:
+  /// gating is only worthwhile when the follower is more expensive).
+  std::size_t add_task(double threshold, double cost_per_sample);
+
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Feeds the state value of `task` for the current tick. Call for every
+  /// task every tick (use the latest known/sampled value when the task did
+  /// not sample this tick), then call end_tick() once.
+  void observe(std::size_t task, double value);
+
+  /// Closes the current tick: advances time, refreshes gating decisions and
+  /// periodically rebuilds the correlation plan.
+  void end_tick();
+
+  /// True when the task is currently gated to its rest interval.
+  bool suppressed(std::size_t task) const;
+
+  /// The follower's leader under the current plan, if any.
+  std::optional<Edge> gate_of(std::size_t task) const;
+
+  const std::vector<Edge>& plan() const { return plan_; }
+  Tick now() const { return now_; }
+
+  /// Forces a plan rebuild from the current histories (tests/benches).
+  void rebuild_plan();
+
+ private:
+  struct TaskState {
+    double threshold{0.0};
+    double cost{1.0};
+    RingBuffer<double> history;
+    double last_value{0.0};
+    bool has_value{false};
+    bool observed_this_tick{false};
+    std::optional<std::size_t> gate_edge;  // index into plan_
+    Tick active_until{0};                  // cooldown horizon
+  };
+
+  void refresh_gates();
+
+  Options options_;
+  std::vector<TaskState> tasks_;
+  std::vector<Edge> plan_;
+  Tick now_{0};
+  Tick next_plan_{0};
+};
+
+}  // namespace volley

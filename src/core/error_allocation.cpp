@@ -1,0 +1,115 @@
+#include "core/error_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace volley {
+
+std::vector<double> EvenAllocation::allocate(double err,
+                                             std::span<const double> current,
+                                             std::span<const CoordStats>) {
+  if (current.empty())
+    throw std::invalid_argument("EvenAllocation: no monitors");
+  return std::vector<double>(current.size(),
+                             err / static_cast<double>(current.size()));
+}
+
+AdaptiveAllocation::AdaptiveAllocation(const Options& options)
+    : options_(options) {
+  if (options.min_fraction < 0.0 || options.min_fraction > 1.0)
+    throw std::invalid_argument("AdaptiveAllocation: min_fraction in [0,1]");
+  if (options.min_fraction * 2.0 > 1.0)
+    throw std::invalid_argument(
+        "AdaptiveAllocation: min_fraction too large to satisfy for >=2 "
+        "monitors");
+  if (options.uniformity_band < 0.0)
+    throw std::invalid_argument("AdaptiveAllocation: uniformity_band >= 0");
+  if (options.smoothing <= 0.0 || options.smoothing > 1.0)
+    throw std::invalid_argument("AdaptiveAllocation: smoothing in (0,1]");
+}
+
+std::vector<double> clamp_and_normalize(std::vector<double> alloc,
+                                        double total, double floor_value) {
+  const std::size_t n = alloc.size();
+  if (n == 0) throw std::invalid_argument("clamp_and_normalize: empty");
+  if (floor_value * static_cast<double>(n) > total) {
+    throw std::invalid_argument(
+        "clamp_and_normalize: floor infeasible for total");
+  }
+  // Raise entries below the floor; take the excess proportionally from the
+  // mass above the floor. Iterate because lowering can push entries below.
+  for (int pass = 0; pass < 64; ++pass) {
+    double deficit = 0.0;
+    double above = 0.0;
+    for (double a : alloc) {
+      if (a < floor_value) {
+        deficit += floor_value - a;
+      } else {
+        above += a - floor_value;
+      }
+    }
+    if (deficit <= 0.0 || above <= 0.0) break;
+    const double scale = (above - deficit) / above;
+    for (double& a : alloc) {
+      if (a < floor_value) {
+        a = floor_value;
+      } else {
+        a = floor_value + (a - floor_value) * scale;
+      }
+    }
+  }
+  // Final renormalization to absorb floating-point drift.
+  const double sum = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  if (sum > 0.0) {
+    for (double& a : alloc) a *= total / sum;
+  } else {
+    for (double& a : alloc) a = total / static_cast<double>(n);
+  }
+  return alloc;
+}
+
+std::vector<double> AdaptiveAllocation::allocate(
+    double err, std::span<const double> current,
+    std::span<const CoordStats> stats) {
+  if (current.size() != stats.size())
+    throw std::invalid_argument("AdaptiveAllocation: size mismatch");
+  const std::size_t n = current.size();
+  if (n == 0) throw std::invalid_argument("AdaptiveAllocation: no monitors");
+  if (n == 1) return {err};
+
+  std::vector<double> yields(n, 0.0);
+  double max_y = 0.0;
+  double min_y = std::numeric_limits<double>::infinity();
+  bool any_positive = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = std::max(stats[i].avg_allowance,
+                              options_.epsilon_allowance);
+    const double y = stats[i].avg_gain > 0.0 ? stats[i].avg_gain / e : 0.0;
+    yields[i] = y;
+    max_y = std::max(max_y, y);
+    min_y = std::min(min_y, y);
+    if (y > 0.0) any_positive = true;
+  }
+
+  std::vector<double> out(current.begin(), current.end());
+  if (!any_positive) return out;  // nothing can grow; keep the allocation
+
+  // Uniformity throttle: when all yields are within the band, reallocation
+  // would only churn — keep the current assignment.
+  if (min_y > 0.0 && max_y / min_y - 1.0 < options_.uniformity_band) {
+    return out;
+  }
+
+  const double sum_y = std::accumulate(yields.begin(), yields.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = err * yields[i] / sum_y;
+    out[i] += options_.smoothing * (target - out[i]);
+  }
+  return clamp_and_normalize(std::move(out), err,
+                             options_.min_fraction * err);
+}
+
+}  // namespace volley

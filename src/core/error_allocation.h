@@ -1,0 +1,84 @@
+// Task-level error-allowance allocation (paper Section IV-B).
+//
+// Because a missed local violation can hide a global violation and
+// beta_c <= sum_i beta_i, the coordinator may distribute the task's error
+// allowance err across monitors any way that keeps sum_i err_i = err.
+// Different splits cost differently; the paper's iterative scheme moves
+// allowance toward monitors with the highest *cost-reduction yield*
+//
+//     y_i = r_i / e_i,
+//     r_i = 1/I_i - 1/(I_i+1)   (gain of growing monitor i's interval by 1)
+//     e_i = beta_i(I_i)/(1-gamma) (allowance that growth would require)
+//
+// and reassigns err_i = err * y_i / sum_j y_j once per updating period.
+// Throttles (both from the paper):
+//   * minimum assignment: no monitor drops below err/100;
+//   * skip reallocation when yields are near-uniform (within 10% of each
+//     other) — the paper states "no reallocation if max{y_i/y_j} < 0.1",
+//     which read literally is never true since max over ordered pairs is
+//     >= 1; we implement the evident intent, max_y/min_y - 1 < 0.1.
+//
+// `EvenAllocation` (the paper's "even" comparison scheme in Figure 8)
+// always splits err uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace volley {
+
+class AllowanceAllocator {
+ public:
+  virtual ~AllowanceAllocator() = default;
+
+  /// Computes the next per-monitor allowances. `current` holds the present
+  /// allocation (summing to err); `stats` the averaged r/e statistics of
+  /// the finished updating period. Returns the new allocation (sums to err).
+  virtual std::vector<double> allocate(double err,
+                                       std::span<const double> current,
+                                       std::span<const CoordStats> stats) = 0;
+};
+
+/// Uniform split (baseline "even" scheme of Figure 8).
+class EvenAllocation final : public AllowanceAllocator {
+ public:
+  std::vector<double> allocate(double err, std::span<const double> current,
+                               std::span<const CoordStats> stats) override;
+};
+
+/// The paper's iterative yield-proportional scheme.
+class AdaptiveAllocation final : public AllowanceAllocator {
+ public:
+  struct Options {
+    double min_fraction{0.01};      // err_min = min_fraction * err
+    double uniformity_band{0.1};    // skip when max_y/min_y - 1 < band
+    double epsilon_allowance{1e-9}; // floor for e_i to avoid division by 0
+    // Step size toward the yield-proportional target per updating period.
+    // The paper's literal rule (err_i = err * y_i / sum y_j, i.e. step 1.0)
+    // oscillates in practice: a monitor that just grew has a small marginal
+    // gain r_i, so the rule strips its allowance, collapsing its interval
+    // to Id, after which it looks high-yield again — and the paper itself
+    // expects the assignment to "gradually" converge. The damped iteration
+    // keeps the fixed point of the paper's rule but actually converges.
+    double smoothing{0.3};
+  };
+
+  AdaptiveAllocation() : AdaptiveAllocation(Options{}) {}
+  explicit AdaptiveAllocation(const Options& options);
+
+  std::vector<double> allocate(double err, std::span<const double> current,
+                               std::span<const CoordStats> stats) override;
+
+ private:
+  Options options_;
+};
+
+/// Clamps every entry to at least `floor_value` and rescales the remainder
+/// so the vector still sums to `total`. Exposed for testing.
+std::vector<double> clamp_and_normalize(std::vector<double> alloc,
+                                        double total, double floor_value);
+
+}  // namespace volley

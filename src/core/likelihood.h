@@ -1,0 +1,109 @@
+// Violation-likelihood estimation (paper Section III-A).
+//
+// Model: delta, the change between two samples taken one default interval Id
+// apart, is a time-independent random variable with (online-estimated) mean
+// mu and standard deviation sigma. The probability that the value i default
+// intervals after the current sample v exceeds the threshold T is bounded by
+// the one-sided Chebyshev inequality:
+//
+//     P[v + i*delta > T] = P[delta > (T - v)/i] <= 1 / (1 + k_i^2),
+//     k_i = (T - v - i*mu) / (i*sigma),          valid only when k_i > 0.
+//
+// The mis-detection rate of sampling interval I (Definition 2) is the
+// probability that at least one of the I skipped/next points violates:
+//
+//     beta(I) = 1 - prod_{i=1..I} (1 - P[v + i*delta > T])
+//            <= 1 - prod_{i=1..I} k_i^2 / (1 + k_i^2)   =: beta_bound(I)
+//
+// Conservative edge handling (all err toward predicting a violation):
+//  * k_i <= 0 (the mean drift alone reaches T)  -> per-step bound = 1.
+//  * sigma == 0 (deterministic drift)           -> bound = 0 or 1 exactly.
+//  * too few delta observations                 -> bound = 1 (cold start
+//    pins the sampler at the default interval until statistics exist).
+//
+// `GaussianLikelihoodEstimator` is the ablation comparator (bench_ablation_
+// estimator): identical interface but assumes delta ~ Normal(mu, sigma),
+// giving much tighter (riskier) per-step probabilities than Chebyshev.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/clock.h"
+#include "stats/online_stats.h"
+
+namespace volley {
+
+/// Statistics snapshot used for one bound evaluation.
+struct DeltaStats {
+  double mean{0.0};
+  double stddev{0.0};
+};
+
+/// One-sided Chebyshev bound on P[v + i*delta > T]. Pure function — the
+/// estimator classes supply the delta statistics.
+double chebyshev_step_bound(double value, double threshold,
+                            const DeltaStats& stats, Tick i);
+
+/// Exact per-step probability under delta ~ Normal(mean, stddev^2).
+double gaussian_step_bound(double value, double threshold,
+                           const DeltaStats& stats, Tick i);
+
+/// beta_bound(I) given a per-step bound function.
+template <typename StepFn>
+double beta_bound_with(double value, double threshold, const DeltaStats& stats,
+                       Tick interval, StepFn&& step) {
+  double survive = 1.0;  // probability that no step violates
+  for (Tick i = 1; i <= interval; ++i) {
+    const double p = step(value, threshold, stats, i);
+    survive *= (1.0 - p);
+    if (survive <= 0.0) return 1.0;
+  }
+  return 1.0 - survive;
+}
+
+/// Online violation-likelihood estimator: maintains the delta statistics
+/// (with the paper's 1000-sample restart policy) and evaluates beta_bound.
+class ViolationLikelihoodEstimator {
+ public:
+  enum class Bound { kChebyshev, kGaussian };
+
+  struct Options {
+    std::int64_t stats_window{1000};  // restart n when it exceeds this
+    std::int64_t stats_warmup{8};     // see WindowedStats
+    std::int64_t min_observations{2}; // below this, beta_bound == 1
+    Bound bound{Bound::kChebyshev};
+  };
+
+  ViolationLikelihoodEstimator() : ViolationLikelihoodEstimator(Options{}) {}
+  explicit ViolationLikelihoodEstimator(const Options& options);
+
+  /// Feeds one observation. `value` was sampled `gap` ticks after the
+  /// previous sample; the update uses the per-Id normalized change
+  /// delta_hat = (value - previous) / gap (Section III-B). The first call
+  /// only seeds the previous value.
+  void observe(double value, Tick gap);
+
+  /// Upper bound on the mis-detection rate beta(I) for the given sampling
+  /// interval, from the most recent observation. Returns 1 while fewer than
+  /// `min_observations` delta values have been seen.
+  double beta_bound(double threshold, Tick interval) const;
+
+  /// P[next value at +i ticks exceeds threshold] bound (Definition 1 for a
+  /// horizon of i ticks).
+  double violation_likelihood(double threshold, Tick i) const;
+
+  bool has_statistics() const;
+  std::optional<DeltaStats> delta_stats() const;
+  std::optional<double> last_value() const { return last_value_; }
+  std::int64_t delta_count() const { return stats_.total_count(); }
+
+  void reset();
+
+ private:
+  Options options_;
+  WindowedStats stats_;
+  std::optional<double> last_value_;
+};
+
+}  // namespace volley

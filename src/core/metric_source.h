@@ -1,0 +1,54 @@
+// Abstraction over "what a sampling operation returns".
+//
+// A MetricSource yields the monitored state value at a given tick (one tick
+// = one default sampling interval Id). Trace-driven sources (src/trace,
+// src/tasks) replay synthetic datacenter data; tests use closures.
+//
+// `sampling_cost` reports the abstract cost of performing one sampling
+// operation at that tick (e.g. packets that deep-packet-inspection must
+// process for the DDoS task). The Dom0 CPU model of Figure 6 integrates it.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace volley {
+
+class MetricSource {
+ public:
+  virtual ~MetricSource() = default;
+
+  /// Monitored state value at tick t. Must be callable for any t in the
+  /// source's advertised range and is idempotent (sampling twice at the
+  /// same tick returns the same value).
+  virtual double value_at(Tick t) const = 0;
+
+  /// Number of ticks for which values exist (t in [0, length())).
+  virtual Tick length() const = 0;
+
+  /// Abstract cost units of one sampling operation at tick t. Default: 1
+  /// (every operation costs the same), matching the paper's op counting.
+  virtual double sampling_cost(Tick t) const {
+    (void)t;
+    return 1.0;
+  }
+};
+
+/// Adapts a callable (Tick -> double) into a MetricSource; handy in tests
+/// and examples.
+class CallableSource final : public MetricSource {
+ public:
+  CallableSource(std::function<double(Tick)> fn, Tick length)
+      : fn_(std::move(fn)), length_(length) {}
+
+  double value_at(Tick t) const override { return fn_(t); }
+  Tick length() const override { return length_; }
+
+ private:
+  std::function<double(Tick)> fn_;
+  Tick length_;
+};
+
+}  // namespace volley

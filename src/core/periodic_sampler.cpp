@@ -1,0 +1,12 @@
+#include "core/periodic_sampler.h"
+
+#include <stdexcept>
+
+namespace volley {
+
+PeriodicSampler::PeriodicSampler(Tick interval) : interval_(interval) {
+  if (interval < 1)
+    throw std::invalid_argument("PeriodicSampler: interval >= 1");
+}
+
+}  // namespace volley

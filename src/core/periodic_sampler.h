@@ -1,0 +1,25 @@
+// Fixed-interval sampling — the baseline every figure compares against
+// (the "CloudWatch model" of Section I: periodic sampling is the only option
+// commercial monitoring systems offer). Shares the sampler interface shape
+// of AdaptiveSampler so monitors can be templated over either policy.
+#pragma once
+
+#include "core/types.h"
+
+namespace volley {
+
+class PeriodicSampler {
+ public:
+  /// `interval` is in default sampling intervals; 1 reproduces the paper's
+  /// accuracy reference (sampling at Id), larger values model the cheap-but-
+  /// inaccurate schemes of Figure 1 (scheme B).
+  explicit PeriodicSampler(Tick interval);
+
+  Tick observe(double /*value*/, Tick /*gap*/) { return interval_; }
+  Tick interval() const { return interval_; }
+
+ private:
+  Tick interval_;
+};
+
+}  // namespace volley

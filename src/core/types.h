@@ -1,0 +1,31 @@
+// Shared identifiers and small value types of the Volley core.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace volley {
+
+using MonitorId = std::uint32_t;
+using TaskId = std::uint32_t;
+
+/// One sampling observation made by a monitor.
+struct Sample {
+  Tick tick{0};
+  double value{0.0};
+};
+
+/// Why a sampling operation happened — monitors schedule their own samples;
+/// the coordinator forces extra ones during global polls.
+enum class SampleReason { kScheduled, kGlobalPoll };
+
+/// Per-monitor statistics the coordinator collects once per updating period
+/// to drive the error-allowance reallocation of Section IV-B.
+struct CoordStats {
+  double avg_gain{0.0};       // average r_i over the period
+  double avg_allowance{0.0};  // average e_i over the period
+  std::int64_t observations{0};
+};
+
+}  // namespace volley

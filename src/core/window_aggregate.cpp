@@ -1,0 +1,90 @@
+#include "core/window_aggregate.h"
+
+#include <algorithm>
+
+namespace volley {
+
+WindowAggregator::WindowAggregator(Tick window, WindowAggregate kind)
+    : window_(window), kind_(kind) {
+  if (window < 1) throw std::invalid_argument("WindowAggregator: window >= 1");
+}
+
+void WindowAggregator::push(double value) {
+  ++pushed_;
+  values_.push_back(value);
+  running_sum_ += value;
+  if (static_cast<Tick>(values_.size()) > window_) {
+    running_sum_ -= values_.front();
+    values_.pop_front();
+  }
+  // Monotonic deque for the moving max.
+  while (!max_deque_.empty() && max_deque_.back().second <= value) {
+    max_deque_.pop_back();
+  }
+  max_deque_.emplace_back(pushed_ - 1, value);
+  while (max_deque_.front().first <= pushed_ - 1 - window_) {
+    max_deque_.pop_front();
+  }
+}
+
+double WindowAggregator::value() const {
+  if (values_.empty()) throw std::logic_error("WindowAggregator: empty");
+  switch (kind_) {
+    case WindowAggregate::kSum:
+      return running_sum_;
+    case WindowAggregate::kAverage:
+      return running_sum_ / static_cast<double>(values_.size());
+    case WindowAggregate::kMax:
+      return max_deque_.front().second;
+  }
+  throw std::logic_error("WindowAggregator: unknown kind");
+}
+
+TimeSeries window_transform(const TimeSeries& in, Tick window,
+                            WindowAggregate kind) {
+  WindowAggregator agg(window, kind);
+  TimeSeries out(in.size());
+  for (std::size_t t = 0; t < in.size(); ++t) {
+    agg.push(in[t]);
+    out[t] = agg.value();
+  }
+  return out;
+}
+
+WindowedSource::WindowedSource(const MetricSource& inner, Tick window,
+                               WindowAggregate kind,
+                               double scan_cost_per_tick)
+    : inner_(inner), window_(window), kind_(kind),
+      scan_cost_per_tick_(scan_cost_per_tick) {
+  if (window < 1) throw std::invalid_argument("WindowedSource: window >= 1");
+  if (scan_cost_per_tick < 0.0)
+    throw std::invalid_argument("WindowedSource: scan cost >= 0");
+}
+
+double WindowedSource::value_at(Tick t) const {
+  const Tick start = std::max<Tick>(0, t - window_ + 1);
+  double sum = 0.0;
+  double max_value = inner_.value_at(start);
+  for (Tick i = start; i <= t; ++i) {
+    const double v = inner_.value_at(i);
+    sum += v;
+    max_value = std::max(max_value, v);
+  }
+  switch (kind_) {
+    case WindowAggregate::kSum:
+      return sum;
+    case WindowAggregate::kAverage:
+      return sum / static_cast<double>(t - start + 1);
+    case WindowAggregate::kMax:
+      return max_value;
+  }
+  throw std::logic_error("WindowedSource: unknown kind");
+}
+
+double WindowedSource::sampling_cost(Tick t) const {
+  const Tick start = std::max<Tick>(0, t - window_ + 1);
+  return inner_.sampling_cost(t) +
+         scan_cost_per_tick_ * static_cast<double>(t - start + 1);
+}
+
+}  // namespace volley

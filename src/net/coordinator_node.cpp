@@ -1,0 +1,192 @@
+#include "net/coordinator_node.h"
+
+#include <poll.h>
+
+#include <array>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace volley::net {
+
+namespace {
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+CoordinatorNode::CoordinatorNode(const CoordinatorNodeOptions& options)
+    : options_(options), listener_(options.port) {
+  if (options.monitors == 0)
+    throw std::invalid_argument("CoordinatorNode: monitors > 0");
+  if (options.adaptive_allocation) {
+    allocator_ = std::make_unique<AdaptiveAllocation>();
+  } else {
+    allocator_ = std::make_unique<EvenAllocation>();
+  }
+  allocation_.assign(options.monitors,
+                     options.error_allowance /
+                         static_cast<double>(options.monitors));
+}
+
+bool CoordinatorNode::send_to(Session& session, const Message& message) {
+  const auto payload = encode(message);
+  return session.conn.send_all(frame_payload(payload));
+}
+
+void CoordinatorNode::broadcast(const Message& message) {
+  for (auto& session : sessions_) {
+    if (session->conn.valid()) send_to(*session, message);
+  }
+}
+
+void CoordinatorNode::start_poll(Tick tick) {
+  active_poll_ = next_poll_id_++;
+  active_poll_tick_ = tick;
+  poll_values_.clear();
+  poll_started_ms_ = now_ms();
+  ++global_polls_;
+  broadcast(PollRequest{tick, *active_poll_});
+}
+
+void CoordinatorNode::finish_poll() {
+  double sum = 0.0;
+  for (const auto& [id, value] : poll_values_) sum += value;
+  if (sum > options_.global_threshold) {
+    alerts_.push_back(GlobalAlert{active_poll_tick_, sum});
+  }
+  active_poll_.reset();
+  poll_values_.clear();
+}
+
+void CoordinatorNode::maybe_reallocate() {
+  if (pending_stats_.size() < options_.monitors) return;
+  std::vector<CoordStats> stats;
+  stats.reserve(options_.monitors);
+  for (const auto& [id, s] : pending_stats_) stats.push_back(s);
+  allocation_ =
+      allocator_->allocate(options_.error_allowance, allocation_, stats);
+  // pending_stats_ is ordered by monitor id; allocation_ follows that order.
+  std::size_t index = 0;
+  for (const auto& [id, s] : pending_stats_) {
+    for (auto& session : sessions_) {
+      if (session->id == id) {
+        send_to(*session, AllowanceUpdate{allocation_[index]});
+        break;
+      }
+    }
+    ++index;
+  }
+  pending_stats_.clear();
+  ++reallocations_;
+}
+
+void CoordinatorNode::handle_message(Session& session,
+                                     const Message& message) {
+  if (const auto* hello = std::get_if<Hello>(&message)) {
+    session.id = hello->monitor;
+    return;
+  }
+  if (const auto* violation = std::get_if<LocalViolation>(&message)) {
+    // One poll at a time: coincident local violations are answered by the
+    // in-flight poll's aggregate.
+    if (!active_poll_) start_poll(violation->tick);
+    return;
+  }
+  if (const auto* response = std::get_if<PollResponse>(&message)) {
+    if (active_poll_ && response->poll_id == *active_poll_) {
+      poll_values_[response->monitor] = response->value;
+      if (poll_values_.size() >= options_.monitors) finish_poll();
+    }
+    return;
+  }
+  if (const auto* stats = std::get_if<StatsReport>(&message)) {
+    CoordStats s;
+    s.avg_gain = stats->avg_gain;
+    s.avg_allowance = stats->avg_allowance;
+    s.observations = stats->observations;
+    pending_stats_[stats->monitor] = s;
+    maybe_reallocate();
+    return;
+  }
+  if (const auto* bye = std::get_if<Bye>(&message)) {
+    if (!session.done) {
+      session.done = true;
+      ++done_count_;
+      reported_ops_[bye->monitor] = bye->scheduled_ops + bye->forced_ops;
+    }
+    return;
+  }
+}
+
+void CoordinatorNode::run() {
+  // Phase 1: accept the expected number of monitors.
+  while (sessions_.size() < options_.monitors) {
+    auto conn = listener_.accept();
+    if (!conn) continue;
+    conn->set_nonblocking(true);
+    auto session = std::make_unique<Session>();
+    session->conn = std::move(*conn);
+    sessions_.push_back(std::move(session));
+  }
+
+  // Phase 2: event loop until every monitor said Bye.
+  std::array<std::byte, 8192> buf;
+  std::int64_t last_activity_ms = now_ms();
+  while (done_count_ < options_.monitors) {
+    std::vector<pollfd> fds;
+    fds.reserve(sessions_.size());
+    for (const auto& session : sessions_) {
+      fds.push_back(pollfd{session->conn.fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 20);
+    if (ready < 0 && errno != EINTR) break;
+
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Session& session = *sessions_[i];
+      if (!session.conn.valid()) continue;
+      const auto n = session.conn.recv_some(buf);
+      if (!n) continue;
+      if (*n == 0) {
+        // Peer vanished: treat as done so the session can still terminate.
+        session.conn.close();
+        if (!session.done) {
+          session.done = true;
+          ++done_count_;
+        }
+        continue;
+      }
+      last_activity_ms = now_ms();
+      session.reader.feed(std::span<const std::byte>(buf.data(), *n));
+      while (auto payload = session.reader.next()) {
+        const auto message = decode(*payload);
+        if (!message) {
+          VLOG_WARN("coordinator", "dropping malformed frame");
+          continue;
+        }
+        handle_message(session, *message);
+      }
+    }
+
+    // Poll timeout: settle with whatever arrived.
+    if (active_poll_ &&
+        now_ms() - poll_started_ms_ > options_.poll_timeout_ms) {
+      VLOG_WARN("coordinator", "global poll timed out with ",
+                poll_values_.size(), "/", options_.monitors, " responses");
+      finish_poll();
+    }
+    // Idle guard: a silent session means lost monitors; bail out.
+    if (now_ms() - last_activity_ms > options_.idle_timeout_ms) {
+      VLOG_ERROR("coordinator", "session idle too long; aborting");
+      break;
+    }
+  }
+
+  broadcast(Shutdown{});
+}
+
+}  // namespace volley::net

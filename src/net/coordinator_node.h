@@ -1,0 +1,102 @@
+// A runnable Volley coordinator speaking the wire protocol over TCP.
+//
+// The coordinator accepts the expected number of monitors, then runs a
+// poll(2)-based event loop:
+//  * LocalViolation  -> start a global poll (coincident violations while a
+//    poll is in flight are absorbed by that poll, as in the paper: one
+//    global poll answers "is the global condition violated right now");
+//  * PollResponse    -> when every monitor answered, aggregate and compare
+//    against the global threshold T; record a state alert if exceeded;
+//  * StatsReport     -> once all monitors reported, reallocate the error
+//    allowance (even or adaptive scheme) and push AllowanceUpdates;
+//  * Bye             -> when all monitors said goodbye, broadcast Shutdown
+//    and return.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/error_allocation.h"
+#include "net/framing.h"
+#include "net/messages.h"
+#include "net/socket.h"
+
+namespace volley::net {
+
+struct CoordinatorNodeOptions {
+  std::uint16_t port{0};  // 0 = pick a free port; read back via port()
+  std::size_t monitors{1};
+  double global_threshold{0.0};
+  double error_allowance{0.01};
+  bool adaptive_allocation{true};
+  int poll_timeout_ms{1000};   // give up on unreachable monitors
+  int idle_timeout_ms{30000};  // abort a silent session (deadlock guard)
+};
+
+struct GlobalAlert {
+  Tick tick{0};
+  double value{0.0};
+};
+
+class CoordinatorNode {
+ public:
+  explicit CoordinatorNode(const CoordinatorNodeOptions& options);
+
+  /// The bound port (call after construction; useful with port = 0).
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Blocking: accepts monitors, runs the session, shuts monitors down.
+  void run();
+
+  // Results, valid after run() returns.
+  std::int64_t global_polls() const { return global_polls_; }
+  const std::vector<GlobalAlert>& alerts() const { return alerts_; }
+  std::int64_t reallocations() const { return reallocations_; }
+  /// Per-monitor op totals from Bye messages (monitor id -> ops).
+  const std::map<MonitorId, std::int64_t>& reported_ops() const {
+    return reported_ops_;
+  }
+
+ private:
+  struct Session {
+    TcpConnection conn;
+    FrameReader reader;
+    std::optional<MonitorId> id;
+    bool done{false};
+  };
+
+  void handle_message(Session& session, const Message& message);
+  void start_poll(Tick tick);
+  void finish_poll();
+  void maybe_reallocate();
+  void broadcast(const Message& message);
+  bool send_to(Session& session, const Message& message);
+
+  CoordinatorNodeOptions options_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::unique_ptr<AllowanceAllocator> allocator_;
+  std::vector<double> allocation_;
+
+  // Global-poll state.
+  std::uint64_t next_poll_id_{1};
+  std::optional<std::uint64_t> active_poll_;
+  Tick active_poll_tick_{0};
+  std::map<MonitorId, double> poll_values_;
+  std::int64_t poll_started_ms_{0};
+
+  // Stats-report state.
+  std::map<MonitorId, CoordStats> pending_stats_;
+
+  std::int64_t global_polls_{0};
+  std::int64_t reallocations_{0};
+  std::vector<GlobalAlert> alerts_;
+  std::map<MonitorId, std::int64_t> reported_ops_;
+  std::size_t done_count_{0};
+};
+
+}  // namespace volley::net

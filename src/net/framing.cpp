@@ -1,0 +1,35 @@
+#include "net/framing.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace volley {
+
+std::vector<std::byte> frame_payload(std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw std::runtime_error("frame_payload: payload too large");
+  std::vector<std::byte> out(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(out.data(), &len, 4);  // little-endian on all supported targets
+  std::memcpy(out.data() + 4, payload.data(), payload.size());
+  return out;
+}
+
+void FrameReader::feed(std::span<const std::byte> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::byte>> FrameReader::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buffer_.data(), 4);
+  if (len > kMaxFrameBytes)
+    throw std::runtime_error("FrameReader: oversized frame");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  std::vector<std::byte> payload(buffer_.begin() + 4,
+                                 buffer_.begin() + 4 + len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+  return payload;
+}
+
+}  // namespace volley

@@ -1,0 +1,39 @@
+// Length-prefixed message framing over a TCP stream.
+//
+// Wire format: a 4-byte little-endian payload length followed by the
+// payload. The FrameReader is an incremental decoder: feed it whatever
+// recv() returned and pop complete frames — partial frames simply wait for
+// more bytes, and oversized lengths are rejected so a corrupt peer cannot
+// make us allocate unbounded memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace volley {
+
+constexpr std::size_t kMaxFrameBytes = 1 << 20;  // 1 MiB protocol limit
+
+/// Prepends the length header to a payload.
+std::vector<std::byte> frame_payload(std::span<const std::byte> payload);
+
+class FrameReader {
+ public:
+  /// Appends raw stream bytes. Throws std::runtime_error on a frame whose
+  /// declared length exceeds kMaxFrameBytes (protocol violation).
+  void feed(std::span<const std::byte> data);
+
+  /// Pops the next complete frame's payload, if any.
+  std::optional<std::vector<std::byte>> next();
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace volley

@@ -1,0 +1,163 @@
+#include "net/messages.h"
+
+#include <cstring>
+
+namespace volley::net {
+
+namespace {
+
+enum class Type : std::uint8_t {
+  kHello = 1,
+  kLocalViolation = 2,
+  kPollRequest = 3,
+  kPollResponse = 4,
+  kStatsReport = 5,
+  kAllowanceUpdate = 6,
+  kBye = 7,
+  kShutdown = 8,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  bool u8(std::uint8_t& v) { return raw(&v, 1); }
+  bool u32(std::uint32_t& v) { return raw(&v, 4); }
+  bool u64(std::uint64_t& v) { return raw(&v, 8); }
+  bool i64(std::int64_t& v) { return raw(&v, 8); }
+  bool f64(double& v) { return raw(&v, 8); }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          w.u8(static_cast<std::uint8_t>(Type::kHello));
+          w.u32(m.monitor);
+        } else if constexpr (std::is_same_v<T, LocalViolation>) {
+          w.u8(static_cast<std::uint8_t>(Type::kLocalViolation));
+          w.u32(m.monitor);
+          w.i64(m.tick);
+          w.f64(m.value);
+        } else if constexpr (std::is_same_v<T, PollRequest>) {
+          w.u8(static_cast<std::uint8_t>(Type::kPollRequest));
+          w.i64(m.tick);
+          w.u64(m.poll_id);
+        } else if constexpr (std::is_same_v<T, PollResponse>) {
+          w.u8(static_cast<std::uint8_t>(Type::kPollResponse));
+          w.u32(m.monitor);
+          w.u64(m.poll_id);
+          w.i64(m.tick);
+          w.f64(m.value);
+        } else if constexpr (std::is_same_v<T, StatsReport>) {
+          w.u8(static_cast<std::uint8_t>(Type::kStatsReport));
+          w.u32(m.monitor);
+          w.f64(m.avg_gain);
+          w.f64(m.avg_allowance);
+          w.i64(m.observations);
+        } else if constexpr (std::is_same_v<T, AllowanceUpdate>) {
+          w.u8(static_cast<std::uint8_t>(Type::kAllowanceUpdate));
+          w.f64(m.error_allowance);
+        } else if constexpr (std::is_same_v<T, Bye>) {
+          w.u8(static_cast<std::uint8_t>(Type::kBye));
+          w.u32(m.monitor);
+          w.i64(m.scheduled_ops);
+          w.i64(m.forced_ops);
+        } else if constexpr (std::is_same_v<T, Shutdown>) {
+          w.u8(static_cast<std::uint8_t>(Type::kShutdown));
+        }
+      },
+      message);
+  return w.take();
+}
+
+std::optional<Message> decode(std::span<const std::byte> payload) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  if (!r.u8(type)) return std::nullopt;
+  switch (static_cast<Type>(type)) {
+    case Type::kHello: {
+      Hello m;
+      if (!r.u32(m.monitor) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kLocalViolation: {
+      LocalViolation m;
+      if (!r.u32(m.monitor) || !r.i64(m.tick) || !r.f64(m.value) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kPollRequest: {
+      PollRequest m;
+      if (!r.i64(m.tick) || !r.u64(m.poll_id) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kPollResponse: {
+      PollResponse m;
+      if (!r.u32(m.monitor) || !r.u64(m.poll_id) || !r.i64(m.tick) ||
+          !r.f64(m.value) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kStatsReport: {
+      StatsReport m;
+      if (!r.u32(m.monitor) || !r.f64(m.avg_gain) ||
+          !r.f64(m.avg_allowance) || !r.i64(m.observations) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kAllowanceUpdate: {
+      AllowanceUpdate m;
+      if (!r.f64(m.error_allowance) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kBye: {
+      Bye m;
+      if (!r.u32(m.monitor) || !r.i64(m.scheduled_ops) ||
+          !r.i64(m.forced_ops) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kShutdown: {
+      if (!r.done()) return std::nullopt;
+      return Shutdown{};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace volley::net

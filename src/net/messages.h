@@ -1,0 +1,73 @@
+// Volley wire protocol messages (Figure 3's arrows, serialized).
+//
+//   monitor -> coordinator:  Hello, LocalViolation, PollResponse, StatsReport, Bye
+//   coordinator -> monitor:  PollRequest, AllowanceUpdate, Shutdown
+//
+// Encoding: 1 type byte followed by fixed-width little-endian fields
+// (u32/i64/f64). Decoding is total: a malformed buffer returns nullopt
+// rather than throwing, because it arrives from the network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/types.h"
+
+namespace volley::net {
+
+struct Hello {
+  MonitorId monitor{0};
+};
+
+struct LocalViolation {
+  MonitorId monitor{0};
+  Tick tick{0};
+  double value{0.0};
+};
+
+struct PollRequest {
+  Tick tick{0};
+  std::uint64_t poll_id{0};
+};
+
+struct PollResponse {
+  MonitorId monitor{0};
+  std::uint64_t poll_id{0};
+  Tick tick{0};
+  double value{0.0};
+};
+
+struct StatsReport {
+  MonitorId monitor{0};
+  double avg_gain{0.0};
+  double avg_allowance{0.0};
+  std::int64_t observations{0};
+};
+
+struct AllowanceUpdate {
+  double error_allowance{0.0};
+};
+
+struct Bye {
+  MonitorId monitor{0};
+  std::int64_t scheduled_ops{0};
+  std::int64_t forced_ops{0};
+};
+
+struct Shutdown {};
+
+using Message = std::variant<Hello, LocalViolation, PollRequest, PollResponse,
+                             StatsReport, AllowanceUpdate, Bye, Shutdown>;
+
+/// Serializes a message (payload only; add framing separately).
+std::vector<std::byte> encode(const Message& message);
+
+/// Parses one payload. nullopt on unknown type or truncated fields.
+std::optional<Message> decode(std::span<const std::byte> payload);
+
+}  // namespace volley::net

@@ -1,0 +1,128 @@
+#include "net/monitor_node.h"
+
+#include <array>
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+
+namespace volley::net {
+
+MonitorNode::MonitorNode(const MonitorNodeOptions& options,
+                         const MetricSource& source)
+    : options_(options),
+      monitor_(options.id, source, options.sampler, options.local_threshold) {
+  if (!options.sample_log_path.empty()) {
+    sample_log_ = std::make_unique<SampleLogWriter>(options.sample_log_path);
+  }
+  if (options.ticks < 1)
+    throw std::invalid_argument("MonitorNode: ticks >= 1");
+  if (options.updating_period < 1)
+    throw std::invalid_argument("MonitorNode: updating_period >= 1");
+}
+
+bool MonitorNode::send(TcpConnection& conn, const Message& m) {
+  const auto payload = encode(m);
+  return conn.send_all(frame_payload(payload));
+}
+
+bool MonitorNode::service_messages(TcpConnection& conn, FrameReader& reader,
+                                   Tick t) {
+  std::array<std::byte, 4096> buf;
+  while (true) {
+    const auto n = conn.recv_some(buf);
+    if (!n) break;          // no data ready (non-blocking)
+    if (*n == 0) return false;  // peer closed
+    reader.feed(std::span<const std::byte>(buf.data(), *n));
+  }
+  while (auto payload = reader.next()) {
+    const auto message = decode(*payload);
+    if (!message) {
+      VLOG_WARN("monitor", "dropping malformed frame");
+      continue;
+    }
+    if (std::holds_alternative<Shutdown>(*message)) return false;
+    if (const auto* update = std::get_if<AllowanceUpdate>(&*message)) {
+      monitor_.set_error_allowance(update->error_allowance);
+    } else if (const auto* poll = std::get_if<PollRequest>(&*message)) {
+      // Answer with the freshest value this node can produce: its state at
+      // the current local tick (cached when it already sampled this tick).
+      const auto outcome = monitor_.force_sample(t);
+      log_sample(outcome);
+      PollResponse resp;
+      resp.monitor = options_.id;
+      resp.poll_id = poll->poll_id;
+      resp.tick = t;
+      resp.value = outcome.sample.value;
+      if (!send(conn, resp)) return false;
+    }
+  }
+  return true;
+}
+
+void MonitorNode::run() {
+  TcpConnection conn = TcpConnection::connect(options_.coordinator_host,
+                                              options_.coordinator_port);
+  conn.set_nonblocking(true);
+  FrameReader reader;
+  if (!send(conn, Hello{options_.id})) return;
+
+  Tick next_report = options_.updating_period;
+  for (Tick t = 0; t < options_.ticks && !stop_.load(); ++t) {
+    if (!service_messages(conn, reader, t)) return;
+
+    if (monitor_.due(t)) {
+      const auto outcome = monitor_.step(t);
+      log_sample(outcome);
+      if (outcome.local_violation) {
+        LocalViolation report;
+        report.monitor = options_.id;
+        report.tick = t;
+        report.value = outcome.sample.value;
+        if (!send(conn, report)) return;
+      }
+    }
+
+    if (t >= next_report) {
+      next_report = t + options_.updating_period;
+      const CoordStats stats = monitor_.drain_coord_stats();
+      StatsReport report;
+      report.monitor = options_.id;
+      report.avg_gain = stats.avg_gain;
+      report.avg_allowance = stats.avg_allowance;
+      report.observations = stats.observations;
+      if (!send(conn, report)) return;
+    }
+
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.tick_micros));
+  }
+
+  if (sample_log_) sample_log_->flush();
+
+  Bye bye;
+  bye.monitor = options_.id;
+  bye.scheduled_ops = monitor_.scheduled_ops();
+  bye.forced_ops = monitor_.forced_ops();
+  if (!send(conn, bye)) return;
+
+  // Keep answering polls for stragglers until Shutdown or grace timeout.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.shutdown_grace_ms);
+  while (std::chrono::steady_clock::now() < deadline && !stop_.load()) {
+    // Straggler polls are answered with the last in-range tick's state.
+    if (!service_messages(conn, reader, options_.ticks - 1)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void MonitorNode::log_sample(const Monitor::Outcome& outcome) {
+  if (!sample_log_) return;
+  SampleRecord record;
+  record.monitor = options_.id;
+  record.tick = outcome.sample.tick;
+  record.value = outcome.sample.value;
+  record.reason = outcome.reason;
+  sample_log_->append(record);
+}
+
+}  // namespace volley::net

@@ -1,0 +1,77 @@
+// A runnable Volley monitor speaking the wire protocol (src/net/messages.h)
+// to a coordinator over TCP. One MonitorNode corresponds to one monitor
+// process in the paper's testbed (Figure 4: a monitor per VM inside Dom0).
+//
+// The node wraps a core::Monitor — the exact same adaptation logic the
+// simulation runs — and drives it on a compressed wall-clock timescale
+// (`tick_micros` of real time per default sampling interval), so an
+// end-to-end distributed run finishes in seconds on one machine.
+//
+// Lifecycle: connect() -> Hello -> per-tick loop {service coordinator
+// messages; scheduled sampling; LocalViolation reports; StatsReport once
+// per updating period} -> Bye -> service polls until Shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/monitor.h"
+#include "core/task.h"
+#include "net/framing.h"
+#include "net/messages.h"
+#include "net/socket.h"
+#include "storage/sample_log.h"
+
+namespace volley::net {
+
+struct MonitorNodeOptions {
+  MonitorId id{0};
+  std::string coordinator_host{"127.0.0.1"};
+  std::uint16_t coordinator_port{0};
+  double local_threshold{0.0};
+  AdaptiveSamplerOptions sampler{};
+  Tick ticks{0};             // run length in default intervals
+  Tick updating_period{1000};
+  int tick_micros{200};      // compressed wall time per tick
+  int shutdown_grace_ms{2000};
+  /// When non-empty, every sampling observation is appended to this
+  /// sample log (storage/sample_log.h) for offline event analysis — the
+  /// "sampling data persistence" cost component of Section III-B.
+  std::string sample_log_path{};
+};
+
+class MonitorNode {
+ public:
+  /// The source must outlive the node.
+  MonitorNode(const MonitorNodeOptions& options, const MetricSource& source);
+
+  /// Blocking; returns when the coordinator shuts the session down (or the
+  /// grace period after Bye expires). Safe to call from its own thread.
+  void run();
+
+  /// Asks a running node to stop at the next tick boundary.
+  void request_stop() { stop_.store(true); }
+
+  // Results, valid after run() returns.
+  std::int64_t scheduled_ops() const { return monitor_.scheduled_ops(); }
+  std::int64_t forced_ops() const { return monitor_.forced_ops(); }
+  std::int64_t local_violations() const { return monitor_.local_violations(); }
+  double final_allowance() const { return monitor_.error_allowance(); }
+
+ private:
+  /// Handles every buffered coordinator message; returns false on Shutdown
+  /// or lost connection.
+  bool service_messages(TcpConnection& conn, FrameReader& reader, Tick t);
+  bool send(TcpConnection& conn, const Message& m);
+
+  void log_sample(const Monitor::Outcome& outcome);
+
+  MonitorNodeOptions options_;
+  Monitor monitor_;
+  std::unique_ptr<SampleLogWriter> sample_log_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace volley::net

@@ -1,0 +1,133 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace volley {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { reset(); }
+
+FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int FileDescriptor::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FileDescriptor::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+TcpConnection TcpConnection::connect(const std::string& host,
+                                     std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    throw_errno("inet_pton");
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(std::move(fd));
+}
+
+bool TcpConnection::send_all(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_.get(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // retry
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::size_t> TcpConnection::recv_some(std::span<std::byte> buf) {
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+      return 0;  // treat hard errors as a closed peer
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void TcpConnection::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.get(), F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd_.get(), 64) != 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+std::optional<TcpConnection> TcpListener::accept() {
+  const int fd = ::accept(fd_.get(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(FileDescriptor(fd));
+}
+
+}  // namespace volley

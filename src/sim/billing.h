@@ -1,0 +1,49 @@
+// Monetary monitoring cost (paper Section I): Cloud monitoring services
+// charge pay-as-you-go *per sample* (the paper cites CloudWatch), and
+// monitoring can reach 18% of an application's total operation cost.
+// This model turns sampling-operation counts into dollars so benches and
+// examples can report the fee-side savings alongside the CPU-side ones.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace volley {
+
+struct BillingModel {
+  /// Service fee per 1000 sampling operations (CloudWatch-style custom
+  /// metrics were ~$0.30-0.50 per metric-month at 1-minute granularity in
+  /// the paper's era; the default normalizes to a comparable per-op price).
+  double dollars_per_1k_samples{0.01};
+  /// The application's non-monitoring operation cost per month, used to
+  /// express monitoring as a fraction of total spend (the paper's 18%).
+  double base_operation_cost{1000.0};
+
+  void validate() const {
+    if (dollars_per_1k_samples < 0.0)
+      throw std::invalid_argument("BillingModel: price >= 0");
+    if (base_operation_cost <= 0.0)
+      throw std::invalid_argument("BillingModel: base cost > 0");
+  }
+
+  /// Fee for a number of sampling operations.
+  [[nodiscard]] double cost(std::int64_t samples) const {
+    return dollars_per_1k_samples * static_cast<double>(samples) / 1000.0;
+  }
+
+  /// Monitoring fee as a fraction of total (base + monitoring) spend.
+  [[nodiscard]] double share_of_total(std::int64_t samples) const {
+    const double fee = cost(samples);
+    return fee / (fee + base_operation_cost);
+  }
+
+  /// Sampling operations a periodic scheme performs per month per monitor.
+  [[nodiscard]] static std::int64_t periodic_samples_per_month(
+      double interval_seconds) {
+    if (interval_seconds <= 0.0)
+      throw std::invalid_argument("periodic_samples_per_month: interval > 0");
+    return static_cast<std::int64_t>(30.0 * 24.0 * 3600.0 / interval_seconds);
+  }
+};
+
+}  // namespace volley

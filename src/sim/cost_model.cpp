@@ -1,0 +1,47 @@
+#include "sim/cost_model.h"
+
+#include <stdexcept>
+
+namespace volley {
+
+void CostModelOptions::validate() const {
+  if (fixed_cost_seconds < 0.0)
+    throw std::invalid_argument("CostModelOptions: fixed_cost >= 0");
+  if (per_packet_cost_seconds < 0.0)
+    throw std::invalid_argument("CostModelOptions: per_packet_cost >= 0");
+  if (window_seconds <= 0.0)
+    throw std::invalid_argument("CostModelOptions: window_seconds > 0");
+}
+
+Dom0CostModel::Dom0CostModel(const CostModelOptions& options)
+    : options_(options) {
+  options_.validate();
+}
+
+double Dom0CostModel::op_cost_seconds(double packets) const {
+  if (packets < 0.0)
+    throw std::invalid_argument("op_cost_seconds: packets >= 0");
+  return options_.fixed_cost_seconds +
+         options_.per_packet_cost_seconds * packets;
+}
+
+TimeSeries Dom0CostModel::host_utilization(
+    Tick ticks, std::span<const std::vector<Tick>> op_ticks,
+    std::span<const TimeSeries> packets) const {
+  if (op_ticks.size() != packets.size())
+    throw std::invalid_argument("host_utilization: size mismatch");
+  TimeSeries util(static_cast<std::size_t>(ticks), 0.0);
+  for (std::size_t v = 0; v < op_ticks.size(); ++v) {
+    const TimeSeries& pkts = packets[v];
+    for (Tick t : op_ticks[v]) {
+      if (t < 0 || t >= ticks)
+        throw std::out_of_range("host_utilization: op tick out of range");
+      util[static_cast<std::size_t>(t)] +=
+          op_cost_seconds(pkts.at(static_cast<std::size_t>(t))) /
+          options_.window_seconds;
+    }
+  }
+  return util;
+}
+
+}  // namespace volley

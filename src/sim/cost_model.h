@@ -1,0 +1,58 @@
+// Dom0 CPU cost model (Figure 6 substrate).
+//
+// The paper measures that periodic network monitoring of 40 VMs at the
+// 15-second default interval keeps Xen's Dom0 at 20-34% CPU — packet
+// capture plus deep packet inspection over every VM's traffic — and that
+// Volley's adaptation cuts this to ~5%. We reproduce the *mapping* from
+// sampling activity to Dom0 utilization:
+//
+//   cpu_seconds(one op) = fixed_cost + per_packet_cost * packets_in_window
+//   utilization(host, tick) = sum over VM ops in that tick / window_seconds
+//
+// Default calibration (documented here, asserted by tests):
+// with the default netflow generator a VM window holds ~2.5-4.5k packets at
+// peak; 40 VMs * (0.02 s + 2.8e-5 s/pkt * pkts) / 15 s then spans ~20-34%
+// across the diurnal cycle at err = 0, matching the paper's measured band.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/clock.h"
+#include "trace/trace.h"
+
+namespace volley {
+
+struct CostModelOptions {
+  double fixed_cost_seconds{0.02};       // scheduling, polling, persistence
+  double per_packet_cost_seconds{2.8e-5};  // capture + DPI per packet
+  double window_seconds{15.0};           // Id of the network task
+
+  void validate() const;
+};
+
+class Dom0CostModel {
+ public:
+  Dom0CostModel() : Dom0CostModel(CostModelOptions{}) {}
+  explicit Dom0CostModel(const CostModelOptions& options);
+
+  /// CPU seconds consumed by one sampling operation that inspects
+  /// `packets` packets.
+  double op_cost_seconds(double packets) const;
+
+  /// Host utilization time series. `op_ticks[v]` lists the ticks at which
+  /// VM v's monitor performed a sampling operation; `packets[v]` is VM v's
+  /// per-tick inspected-packet series. The result has `ticks` entries in
+  /// [0, 1+] (values above 1 mean Dom0 would be saturated).
+  TimeSeries host_utilization(
+      Tick ticks, std::span<const std::vector<Tick>> op_ticks,
+      std::span<const TimeSeries> packets) const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  CostModelOptions options_;
+};
+
+}  // namespace volley

@@ -1,0 +1,2 @@
+// Datacenter is header-only; this translation unit anchors the library.
+#include "sim/datacenter.h"

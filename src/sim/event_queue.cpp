@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace volley {
+
+std::uint64_t EventQueue::schedule_at(SimTime when, Callback fn) {
+  if (when < now_)
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  if (!fn) throw std::invalid_argument("EventQueue: null callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+std::uint64_t EventQueue::schedule_after(SimTime delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::cancel(std::uint64_t id) {
+  // Ignores ids that already ran or were already cancelled.
+  live_.erase(id);
+}
+
+bool EventQueue::pop_runnable(Event& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the callback must be moved out, so we
+    // const_cast the popped node — safe because we pop immediately after.
+    Event& top = const_cast<Event&>(heap_.top());
+    Event ev{top.when, top.seq, top.id, std::move(top.fn)};
+    heap_.pop();
+    if (live_.find(ev.id) == live_.end()) continue;  // cancelled
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  Event ev;
+  if (!pop_runnable(ev)) return false;
+  live_.erase(ev.id);
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_until(SimTime horizon) {
+  std::uint64_t executed = 0;
+  Event ev;
+  while (pop_runnable(ev)) {
+    if (ev.when > horizon) {
+      // Put the not-yet-due event back and stop at the horizon.
+      heap_.push(Event{ev.when, ev.seq, ev.id, std::move(ev.fn)});
+      break;
+    }
+    live_.erase(ev.id);
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  now_ = std::max(now_, horizon);
+  return executed;
+}
+
+}  // namespace volley

@@ -1,0 +1,54 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+namespace volley {
+
+GroundTruth GroundTruth::from_series(const TimeSeries& aggregate,
+                                     double threshold) {
+  GroundTruth truth;
+  const std::size_t n = aggregate.size();
+  truth.alert.assign(n, 0);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (aggregate[t] > threshold) {
+      truth.alert[t] = 1;
+      ++truth.alert_ticks;
+    }
+  }
+  // Maximal runs of alert ticks.
+  std::size_t t = 0;
+  while (t < n) {
+    if (!truth.alert[t]) {
+      ++t;
+      continue;
+    }
+    std::size_t end = t;
+    while (end < n && truth.alert[end]) ++end;
+    truth.episodes.emplace_back(static_cast<Tick>(t), static_cast<Tick>(end));
+    t = end;
+  }
+  return truth;
+}
+
+void score_detection(RunResult& result, const GroundTruth& truth,
+                     std::span<const char> detected) {
+  if (detected.size() != truth.alert.size())
+    throw std::invalid_argument("score_detection: length mismatch");
+  result.true_alert_ticks = truth.alert_ticks;
+  result.true_episodes = static_cast<std::int64_t>(truth.episodes.size());
+  result.detected_alert_ticks = 0;
+  result.detected_episodes = 0;
+  for (std::size_t t = 0; t < detected.size(); ++t) {
+    if (truth.alert[t] && detected[t]) ++result.detected_alert_ticks;
+  }
+  for (const auto& [start, end] : truth.episodes) {
+    for (Tick t = start; t < end; ++t) {
+      if (detected[static_cast<std::size_t>(t)]) {
+        ++result.detected_episodes;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace volley

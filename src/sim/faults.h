@@ -1,0 +1,62 @@
+// Fault injection for distributed monitoring runs.
+//
+// The Volley paper assumes reliable messaging; its companion work
+// ("Reliable state monitoring in cloud datacenters", IEEE CLOUD 2012,
+// cited as [22]) studies what message loss and node outages do to state
+// monitoring accuracy. This driver reproduces that concern for Volley:
+// it runs the standard monitor/coordinator protocol while dropping
+// violation reports, dropping poll responses, and taking monitors offline
+// for windows of time — and accounts for the resulting detection loss.
+//
+// Semantics:
+//  * violation_report_loss — each local-violation report independently
+//    fails to reach the coordinator; if no report of a tick survives, no
+//    global poll happens that tick.
+//  * poll_response_loss    — each polled monitor's response independently
+//    fails; the coordinator then uses that monitor's last known value
+//    (stale data, exactly what a timeout fallback does).
+//  * outages               — a down monitor neither samples nor answers
+//    polls; the coordinator keeps using its last known value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+
+namespace volley {
+
+struct MonitorOutage {
+  std::size_t monitor{0};
+  Tick start{0};
+  Tick end{0};  // exclusive
+};
+
+struct FaultPlan {
+  double violation_report_loss{0.0};  // in [0, 1)
+  double poll_response_loss{0.0};     // in [0, 1)
+  std::vector<MonitorOutage> outages;
+  std::uint64_t seed{99};
+
+  void validate() const;
+};
+
+struct FaultyRunResult {
+  RunResult run;                      // the usual cost/accuracy accounting
+  std::int64_t lost_reports{0};       // violation reports dropped
+  std::int64_t lost_responses{0};     // poll responses dropped
+  std::int64_t outage_monitor_ticks{0};
+  std::int64_t stale_polls{0};        // polls that used >= 1 stale value
+};
+
+/// Like run_volley, but under the fault plan. Uses the adaptive allowance
+/// allocator (the paper's default scheme).
+FaultyRunResult run_volley_faulty(const TaskSpec& spec,
+                                  std::span<const TimeSeries> monitor_series,
+                                  std::span<const double> local_thresholds,
+                                  const FaultPlan& plan);
+
+}  // namespace volley

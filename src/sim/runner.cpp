@@ -1,0 +1,231 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace volley {
+
+namespace {
+std::unique_ptr<AllowanceAllocator> make_allocator(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kNone:
+      return nullptr;
+    case AllocatorKind::kEven:
+      return std::make_unique<EvenAllocation>();
+    case AllocatorKind::kAdaptive:
+      return std::make_unique<AdaptiveAllocation>();
+  }
+  throw std::invalid_argument("make_allocator: unknown kind");
+}
+}  // namespace
+
+RunResult run_volley(const TaskSpec& spec,
+                     std::span<const TimeSeries> monitor_series,
+                     std::span<const double> local_thresholds,
+                     const RunOptions& options) {
+  spec.validate();
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_volley: no monitors");
+  if (monitor_series.size() != local_thresholds.size())
+    throw std::invalid_argument("run_volley: thresholds size mismatch");
+  const Tick ticks = monitor_series.front().ticks();
+  for (const auto& s : monitor_series) {
+    if (s.ticks() != ticks)
+      throw std::invalid_argument("run_volley: series length mismatch");
+  }
+  {
+    double sum = 0.0;
+    for (double t : local_thresholds) sum += t;
+    const double scale =
+        std::max({std::abs(sum), std::abs(spec.global_threshold), 1.0});
+    if (std::abs(sum - spec.global_threshold) > 1e-6 * scale)
+      throw std::invalid_argument(
+          "run_volley: local thresholds must sum to the global threshold");
+  }
+
+  // Sources must outlive the monitors.
+  std::vector<std::unique_ptr<SeriesSource>> sources;
+  sources.reserve(monitor_series.size());
+  for (const auto& s : monitor_series)
+    sources.push_back(std::make_unique<SeriesSource>(s));
+
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.reserve(monitor_series.size());
+  for (std::size_t i = 0; i < monitor_series.size(); ++i) {
+    // The per-monitor allowance is overwritten by the coordinator's initial
+    // even split; pass the task-level value as a placeholder.
+    monitors.push_back(std::make_unique<Monitor>(
+        static_cast<MonitorId>(i), *sources[i],
+        spec.sampler_options(spec.error_allowance), local_thresholds[i]));
+  }
+  Coordinator coordinator(spec, std::move(monitors),
+                          make_allocator(options.allocator));
+
+  RunResult result;
+  result.ticks = ticks;
+  result.monitors = monitor_series.size();
+  std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
+  std::vector<std::int64_t> prev_ops(monitor_series.size(), 0);
+  if (options.record_ops) result.op_ticks.resize(monitor_series.size());
+
+  for (Tick t = 0; t < ticks; ++t) {
+    const auto tick = coordinator.run_tick(t);
+    if (tick.global_violation) detected[static_cast<std::size_t>(t)] = 1;
+    result.local_violations += tick.local_violations;
+    if (options.record_ops || options.record_intervals) {
+      for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+        const std::int64_t ops = coordinator.monitor(i).total_ops();
+        if (ops != prev_ops[i]) {
+          prev_ops[i] = ops;
+          if (options.record_ops)
+            result.op_ticks[i].push_back(t);
+          if (options.record_intervals && i == 0)
+            result.interval_trajectory.push_back(
+                coordinator.monitor(0).interval());
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+    result.scheduled_ops += coordinator.monitor(i).scheduled_ops();
+    result.forced_ops += coordinator.monitor(i).forced_ops();
+  }
+  result.total_cost = coordinator.total_cost();
+  result.global_polls = coordinator.global_polls();
+  result.reallocations = coordinator.reallocations();
+
+  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+  const GroundTruth truth =
+      GroundTruth::from_series(aggregate, spec.global_threshold);
+  score_detection(result, truth, detected);
+  return result;
+}
+
+RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
+                            const RunOptions& options) {
+  const double threshold[] = {spec.global_threshold};
+  return run_volley(spec, std::span<const TimeSeries>(&series, 1), threshold,
+                    options);
+}
+
+RunResult run_periodic(std::span<const TimeSeries> monitor_series,
+                       double global_threshold, Tick interval) {
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_periodic: no monitors");
+  if (interval < 1) throw std::invalid_argument("run_periodic: interval >= 1");
+  const Tick ticks = monitor_series.front().ticks();
+  for (const auto& s : monitor_series) {
+    if (s.ticks() != ticks)
+      throw std::invalid_argument("run_periodic: series length mismatch");
+  }
+
+  RunResult result;
+  result.ticks = ticks;
+  result.monitors = monitor_series.size();
+  std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
+  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+  for (Tick t = 0; t < ticks; t += interval) {
+    result.scheduled_ops += static_cast<std::int64_t>(monitor_series.size());
+    result.total_cost += static_cast<double>(monitor_series.size());
+    const auto i = static_cast<std::size_t>(t);
+    if (aggregate[i] > global_threshold) {
+      detected[i] = 1;
+      ++result.global_polls;
+    }
+  }
+  const GroundTruth truth =
+      GroundTruth::from_series(aggregate, global_threshold);
+  score_detection(result, truth, detected);
+  return result;
+}
+
+std::int64_t CorrelatedGroupResult::total_ops() const {
+  std::int64_t ops = 0;
+  for (const auto& r : per_task) ops += r.total_ops();
+  return ops;
+}
+
+double CorrelatedGroupResult::total_weighted_cost(
+    std::span<const CorrelatedTask> tasks) const {
+  if (tasks.size() != per_task.size())
+    throw std::invalid_argument("total_weighted_cost: size mismatch");
+  double cost = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    cost += static_cast<double>(per_task[i].total_ops()) *
+            tasks[i].cost_per_sample;
+  }
+  return cost;
+}
+
+CorrelatedGroupResult run_correlated_group(
+    std::span<const CorrelatedTask> tasks,
+    const CorrelationScheduler::Options& scheduler_options,
+    bool enable_gating) {
+  if (tasks.empty())
+    throw std::invalid_argument("run_correlated_group: no tasks");
+  const Tick ticks = tasks.front().series.ticks();
+  for (const auto& task : tasks) {
+    task.spec.validate();
+    if (task.series.ticks() != ticks)
+      throw std::invalid_argument(
+          "run_correlated_group: series length mismatch");
+  }
+
+  CorrelationScheduler scheduler(scheduler_options);
+  std::vector<std::unique_ptr<SeriesSource>> sources;
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  std::vector<Tick> last_op(tasks.size(), -1);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    scheduler.add_task(tasks[i].spec.global_threshold,
+                       tasks[i].cost_per_sample);
+    sources.push_back(std::make_unique<SeriesSource>(tasks[i].series));
+    monitors.push_back(std::make_unique<Monitor>(
+        static_cast<MonitorId>(i), *sources[i],
+        tasks[i].spec.sampler_options(tasks[i].spec.error_allowance),
+        tasks[i].spec.global_threshold));
+  }
+
+  std::vector<std::vector<char>> detected(
+      tasks.size(), std::vector<char>(static_cast<std::size_t>(ticks), 0));
+
+  for (Tick t = 0; t < ticks; ++t) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      Monitor& m = *monitors[i];
+      if (!m.due(t)) continue;
+      // A suppressed follower rests at the task's maximum interval: its due
+      // samples are skipped until rest ticks have passed since the last op.
+      if (enable_gating && scheduler.suppressed(i) && last_op[i] >= 0 &&
+          t - last_op[i] < tasks[i].spec.max_interval) {
+        continue;
+      }
+      const auto outcome = m.step(t);
+      last_op[i] = t;
+      scheduler.observe(i, outcome.sample.value);
+      if (outcome.local_violation)
+        detected[i][static_cast<std::size_t>(t)] = 1;
+    }
+    scheduler.end_tick();
+  }
+
+  CorrelatedGroupResult result;
+  result.final_plan = scheduler.plan();
+  result.per_task.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    RunResult& r = result.per_task[i];
+    r.ticks = ticks;
+    r.monitors = 1;
+    r.scheduled_ops = monitors[i]->scheduled_ops();
+    r.forced_ops = monitors[i]->forced_ops();
+    r.total_cost = monitors[i]->total_cost();
+    r.local_violations = monitors[i]->local_violations();
+    const GroundTruth truth = GroundTruth::from_series(
+        tasks[i].series, tasks[i].spec.global_threshold);
+    score_detection(r, truth, detected[i]);
+  }
+  return result;
+}
+
+}  // namespace volley

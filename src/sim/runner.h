@@ -1,0 +1,76 @@
+// Experiment drivers: run a monitoring task (Volley or periodic baseline)
+// over trace series and produce the RunResult metrics the figures report.
+//
+// These are synchronous tick loops over the task's default-interval grid —
+// the exact semantics of the testbed: at every tick each due monitor
+// samples, local violations trigger a coordinator global poll, and the
+// coordinator reallocates error allowance once per updating period.
+// (The event-queue simulator in sim/simulation.h runs the same Coordinator
+// objects at datacenter scale with heterogeneous default intervals.)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/correlation.h"
+#include "core/task.h"
+#include "sim/experiment.h"
+#include "trace/trace.h"
+
+namespace volley {
+
+enum class AllocatorKind {
+  kNone,      // keep the initial even split forever
+  kEven,      // re-divide evenly every period (Figure 8 "even")
+  kAdaptive,  // yield-proportional iterative tuning (Figure 8 "adapt")
+};
+
+struct RunOptions {
+  AllocatorKind allocator{AllocatorKind::kAdaptive};
+  bool record_ops{false};        // fill RunResult::op_ticks
+  bool record_intervals{false};  // fill RunResult::interval_trajectory
+};
+
+/// Runs Volley over a distributed task: one monitor per series, with the
+/// given local thresholds (must sum to the spec's global threshold for the
+/// no-communication-when-quiet property to hold; this is asserted).
+RunResult run_volley(const TaskSpec& spec,
+                     std::span<const TimeSeries> monitor_series,
+                     std::span<const double> local_thresholds,
+                     const RunOptions& options = {});
+
+/// Single-monitor convenience: the local threshold is the global one.
+RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
+                            const RunOptions& options = {});
+
+/// Periodic-sampling baseline: every monitor samples every `interval` ticks
+/// (interval = 1 is the paper's accuracy reference and by construction has
+/// zero mis-detection).
+RunResult run_periodic(std::span<const TimeSeries> monitor_series,
+                       double global_threshold, Tick interval);
+
+/// One task of a multi-task correlation experiment.
+struct CorrelatedTask {
+  TaskSpec spec;           // global_threshold is the task's own threshold
+  TimeSeries series;       // single-monitor state series
+  double cost_per_sample{1.0};
+};
+
+struct CorrelatedGroupResult {
+  std::vector<RunResult> per_task;
+  std::vector<CorrelationScheduler::Edge> final_plan;
+
+  std::int64_t total_ops() const;
+  double total_weighted_cost(std::span<const CorrelatedTask> tasks) const;
+};
+
+/// Runs a group of single-monitor tasks under the state-correlation
+/// scheduler. With `enable_gating == false` the scheduler still observes
+/// (so plans can be inspected) but never suppresses — the ungated baseline.
+CorrelatedGroupResult run_correlated_group(
+    std::span<const CorrelatedTask> tasks,
+    const CorrelationScheduler::Options& scheduler_options,
+    bool enable_gating);
+
+}  // namespace volley

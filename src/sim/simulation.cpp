@@ -1,0 +1,43 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace volley {
+
+std::size_t Simulation::add_task(std::unique_ptr<Coordinator> coordinator,
+                                 double id_seconds, Tick ticks,
+                                 double start_offset_seconds) {
+  if (!coordinator) throw std::invalid_argument("Simulation: null task");
+  if (id_seconds <= 0.0)
+    throw std::invalid_argument("Simulation: id_seconds > 0");
+  if (ticks < 1) throw std::invalid_argument("Simulation: ticks >= 1");
+  if (start_offset_seconds < 0.0)
+    throw std::invalid_argument("Simulation: start offset >= 0");
+
+  auto task = std::make_unique<Task>();
+  task->coordinator = std::move(coordinator);
+  task->id_seconds = id_seconds;
+  task->ticks = ticks;
+  tasks_.push_back(std::move(task));
+  Task& ref = *tasks_.back();
+  schedule_tick(ref, queue_.now() + start_offset_seconds);
+  return tasks_.size() - 1;
+}
+
+void Simulation::schedule_tick(Task& task, SimTime when) {
+  queue_.schedule_at(when, [this, &task, when] {
+    const auto result = task.coordinator->run_tick(task.next_tick);
+    if (result.global_violation) ++task.stats.alerts;
+    ++task.stats.ticks_run;
+    ++task.next_tick;
+    if (task.next_tick < task.ticks) {
+      schedule_tick(task, when + task.id_seconds);
+    }
+  });
+}
+
+std::uint64_t Simulation::run(SimTime horizon_seconds) {
+  return queue_.run_until(horizon_seconds);
+}
+
+}  // namespace volley

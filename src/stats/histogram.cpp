@@ -1,0 +1,84 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace volley {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("Histogram: n must be > 0");
+  std::size_t bin;
+  if (x < lo_) {
+    underflow_ += n;
+    bin = 0;
+  } else if (x >= hi_) {
+    overflow_ += n;
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard x just below hi_
+  }
+  counts_[bin] += n;
+  total_ += n;
+  sum_ += x * static_cast<double>(n);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+double Histogram::mean() const {
+  if (total_ == 0) throw std::logic_error("Histogram::mean: empty");
+  return sum_ / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile: empty");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("Histogram::quantile: q in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (static_cast<double>(cum + counts_[b]) >= target) {
+      if (counts_[b] == 0) return bin_lo(b);
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + frac * bin_width_;
+    }
+    cum += counts_[b];
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  const std::int64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        std::llround(static_cast<double>(width) *
+                                     static_cast<double>(counts_[b]) /
+                                     static_cast<double>(peak)));
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ") "
+       << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace volley

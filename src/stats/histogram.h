@@ -1,0 +1,49 @@
+// Fixed-width binned histogram over a closed value range.
+//
+// Used by experiment accounting (distribution of sampling intervals chosen
+// by the adaptive sampler, distribution of Dom0 CPU utilisation samples) and
+// by tests that assert distributional properties of the trace generators.
+// Out-of-range values are clamped into the edge bins and counted separately
+// so callers can detect mis-sized ranges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace volley {
+
+class Histogram {
+ public:
+  /// [lo, hi) split into `bins` equal-width bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_n(double x, std::int64_t n);
+
+  std::int64_t count() const { return total_; }
+  std::int64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+
+  double mean() const;
+
+  /// Value below which `q` of the mass lies, interpolated within a bin.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for example programs), widest bin = width.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_{0};
+  std::int64_t underflow_{0};
+  std::int64_t overflow_{0};
+  double sum_{0.0};
+};
+
+}  // namespace volley

@@ -1,0 +1,122 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+namespace {
+double quantile_of_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty())
+    throw std::invalid_argument("exact_quantile: empty sample");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("exact_quantile: q must be in [0,1]");
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double exact_quantile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_of_sorted(sorted, q);
+}
+
+std::vector<double> exact_quantiles(std::span<const double> values,
+                                    std::span<const double> qs) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_of_sorted(sorted, q));
+  return out;
+}
+
+BoxStats box_stats(std::span<const double> values) {
+  const double qs[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  auto v = exact_quantiles(values, qs);
+  return BoxStats{v[0], v[1], v[2], v[3], v[4]};
+}
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (q <= 0.0 || q >= 1.0)
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+  warmup_.reserve(5);
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    warmup_.push_back(x);
+    std::sort(warmup_.begin(), warmup_.end());
+    if (count_ == 5) {
+      for (int i = 0; i < 5; ++i) {
+        heights_[i] = warmup_[static_cast<std::size_t>(i)];
+        positions_[i] = i + 1;
+      }
+    }
+    return;
+  }
+
+  // Find the cell k such that heights_[k] <= x < heights_[k+1].
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[static_cast<std::size_t>(k) + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<std::size_t>(i)] += 1;
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<std::size_t>(i)] +=
+        increments_[static_cast<std::size_t>(i)];
+  }
+
+  // Adjust interior markers with parabolic (fallback linear) interpolation.
+  for (int i = 1; i <= 3; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double d = desired_[ui] - positions_[ui];
+    const double np = positions_[ui + 1] - positions_[ui];
+    const double nm = positions_[ui - 1] - positions_[ui];
+    if ((d >= 1.0 && np > 1.0) || (d <= -1.0 && nm < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double hp = heights_[ui + 1] - heights_[ui];
+      const double hm = heights_[ui - 1] - heights_[ui];
+      // Parabolic prediction.
+      double candidate =
+          heights_[ui] + sign / (np - nm) *
+                             ((sign - nm) * hp / np + (np - sign) * hm / nm);
+      if (heights_[ui - 1] < candidate && candidate < heights_[ui + 1]) {
+        heights_[ui] = candidate;
+      } else {
+        // Linear fallback toward the neighbour in the movement direction.
+        const auto nbr = static_cast<std::size_t>(i + (sign > 0 ? 1 : -1));
+        heights_[ui] += sign * (heights_[nbr] - heights_[ui]) /
+                        (positions_[nbr] - positions_[ui]);
+      }
+      positions_[ui] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) throw std::logic_error("P2Quantile: no samples");
+  if (count_ < 5) {
+    // Exact quantile over the warm-up buffer.
+    return quantile_of_sorted(warmup_, q_);
+  }
+  return heights_[2];
+}
+
+}  // namespace volley

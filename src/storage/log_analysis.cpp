@@ -1,0 +1,77 @@
+#include "storage/log_analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace volley {
+
+std::map<MonitorId, MonitorLogSummary> summarize_log(
+    std::span<const SampleRecord> records) {
+  std::map<MonitorId, MonitorLogSummary> out;
+  std::map<MonitorId, Tick> prev_tick;
+  std::map<MonitorId, std::int64_t> gap_count;
+  std::map<MonitorId, double> gap_sum;
+
+  for (const auto& record : records) {
+    auto [it, fresh] = out.try_emplace(record.monitor);
+    MonitorLogSummary& s = it->second;
+    if (fresh) {
+      s.first_tick = record.tick;
+      s.min_value = record.value;
+      s.max_value = record.value;
+    } else {
+      if (record.tick > prev_tick[record.monitor]) {
+        const Tick gap = record.tick - prev_tick[record.monitor];
+        gap_sum[record.monitor] += static_cast<double>(gap);
+        ++gap_count[record.monitor];
+        s.max_interval = std::max(s.max_interval, gap);
+      }
+      s.min_value = std::min(s.min_value, record.value);
+      s.max_value = std::max(s.max_value, record.value);
+    }
+    s.last_tick = std::max(s.last_tick, record.tick);
+    prev_tick[record.monitor] = record.tick;
+    if (record.reason == SampleReason::kScheduled) {
+      ++s.scheduled_ops;
+    } else {
+      ++s.forced_ops;
+    }
+  }
+  for (auto& [id, s] : out) {
+    if (gap_count[id] > 0) {
+      s.mean_interval = gap_sum[id] / static_cast<double>(gap_count[id]);
+    }
+  }
+  return out;
+}
+
+std::vector<LoggedAlert> alerts_in_log(std::span<const SampleRecord> records,
+                                       double threshold) {
+  std::vector<LoggedAlert> out;
+  for (const auto& record : records) {
+    if (record.value > threshold) {
+      out.push_back(LoggedAlert{record.monitor, record.tick, record.value});
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> interval_histogram(
+    std::span<const SampleRecord> records, Tick max_interval) {
+  if (max_interval < 1)
+    throw std::invalid_argument("interval_histogram: max_interval >= 1");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(max_interval) + 1,
+                                0);
+  std::map<MonitorId, Tick> prev_tick;
+  for (const auto& record : records) {
+    auto it = prev_tick.find(record.monitor);
+    if (it != prev_tick.end() && record.tick > it->second) {
+      const Tick gap = std::min(record.tick - it->second, max_interval);
+      ++out[static_cast<std::size_t>(gap)];
+    }
+    prev_tick[record.monitor] = record.tick;
+  }
+  return out;
+}
+
+}  // namespace volley

@@ -1,0 +1,51 @@
+// Offline analysis over persisted sample logs.
+//
+// The paper motivates dense monitoring data with offline event analysis
+// (Section I: with 15-minute periodic sampling, an event between samples
+// leaves no data at all). These helpers answer the analysis questions a
+// persisted Volley log supports: how much was sampled and when (interval
+// timeline per monitor), and which alert instants the record shows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "storage/sample_log.h"
+
+namespace volley {
+
+struct MonitorLogSummary {
+  std::int64_t scheduled_ops{0};
+  std::int64_t forced_ops{0};
+  Tick first_tick{0};
+  Tick last_tick{0};
+  double mean_interval{0.0};  // mean gap between consecutive observations
+  Tick max_interval{0};
+  double min_value{0.0};
+  double max_value{0.0};
+};
+
+/// Per-monitor statistics over a (time-ordered per monitor) record stream.
+std::map<MonitorId, MonitorLogSummary> summarize_log(
+    std::span<const SampleRecord> records);
+
+struct LoggedAlert {
+  MonitorId monitor{0};
+  Tick tick{0};
+  double value{0.0};
+};
+
+/// All observations exceeding the threshold — the persisted evidence of
+/// (local) state alerts.
+std::vector<LoggedAlert> alerts_in_log(std::span<const SampleRecord> records,
+                                       double threshold);
+
+/// Sampling-interval histogram counts: result[i] = number of gaps of
+/// exactly i ticks (index 0 unused; gaps above `max_interval` clamp into
+/// the last bucket).
+std::vector<std::int64_t> interval_histogram(
+    std::span<const SampleRecord> records, Tick max_interval);
+
+}  // namespace volley

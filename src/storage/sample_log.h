@@ -1,0 +1,70 @@
+// Append-only persistence for sampling observations.
+//
+// The paper counts "sampling data persistence" among the costs of every
+// sampling operation (Section III-B) and motivates dense data for offline
+// event analysis (Section I: a 15-minute interval "is very likely to
+// provide no data at all for the analysis of an event"). This module is
+// that persistence substrate: monitors append each observation to a local
+// log; analysis tooling replays it later.
+//
+// Format (little-endian):
+//   file header:  magic "VLOG" + u32 version
+//   record:       u32 monitor | i64 tick | f64 value | u8 reason |
+//                 u32 crc32 (over the preceding 21 bytes)
+//
+// Durability/robustness: records are CRC-protected; the reader stops at
+// the first corrupt or truncated record and reports how many bytes were
+// salvageable, so a crash mid-append loses at most the last record.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace volley {
+
+/// CRC-32 (IEEE 802.3, reflected) — shared by writer and reader.
+std::uint32_t crc32(const void* data, std::size_t length);
+
+struct SampleRecord {
+  MonitorId monitor{0};
+  Tick tick{0};
+  double value{0.0};
+  SampleReason reason{SampleReason::kScheduled};
+
+  bool operator==(const SampleRecord&) const = default;
+};
+
+class SampleLogWriter {
+ public:
+  /// Creates/truncates the file and writes the header. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit SampleLogWriter(const std::string& path);
+
+  /// Appends one record (buffered; call flush() for durability points).
+  void append(const SampleRecord& record);
+  void flush();
+
+  std::int64_t records_written() const { return records_; }
+
+ private:
+  std::ofstream out_;
+  std::int64_t records_{0};
+};
+
+struct SampleLogReadResult {
+  std::vector<SampleRecord> records;
+  bool clean{true};        // false when corruption/truncation was hit
+  std::size_t bad_offset{0};  // byte offset of the first bad record, if any
+};
+
+/// Reads as many valid records as the file contains. Throws
+/// std::runtime_error only when the file is missing or the header is not a
+/// sample log at all; data corruption is reported, not thrown.
+SampleLogReadResult read_sample_log(const std::string& path);
+
+}  // namespace volley

@@ -1,0 +1,18 @@
+#include "tasks/app_task.h"
+
+namespace volley {
+
+AppTask make_app_task(const HttpLogGenerator::ObjectTrace& trace,
+                      std::size_t object, double selectivity_percent,
+                      double error_allowance) {
+  AppTask task;
+  task.series = trace.rate;
+  task.threshold = task.series.threshold_for_selectivity(selectivity_percent);
+  task.object = object;
+  task.spec.global_threshold = task.threshold;
+  task.spec.error_allowance = error_allowance;
+  task.spec.id_seconds = 1.0;
+  return task;
+}
+
+}  // namespace volley

@@ -1,0 +1,26 @@
+// Application-level monitoring tasks (paper Section V-A): a task alerts
+// when the access rate of an object on a VM exceeds a threshold chosen by
+// the alert selectivity k, computed from the recent access logs. Default
+// sampling interval: 1 second.
+#pragma once
+
+#include <cstddef>
+
+#include "core/task.h"
+#include "trace/httplog.h"
+
+namespace volley {
+
+struct AppTask {
+  TimeSeries series;  // per-tick access rate of the object
+  double threshold{0};
+  TaskSpec spec;  // Id = 1 s
+  std::size_t object{0};
+};
+
+/// Builds one object's access-rate task from a pre-generated workload.
+AppTask make_app_task(const HttpLogGenerator::ObjectTrace& trace,
+                      std::size_t object, double selectivity_percent,
+                      double error_allowance);
+
+}  // namespace volley

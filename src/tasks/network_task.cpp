@@ -1,0 +1,52 @@
+#include "tasks/network_task.h"
+
+namespace volley {
+
+NetworkWorkload::NetworkWorkload(const NetworkWorkloadOptions& options)
+    : options_(options) {
+  options_.netflow.validate();
+  options_.attack_prototype.validate();
+}
+
+std::vector<VmTraffic> NetworkWorkload::generate_traffic() const {
+  NetflowGenerator generator(options_.netflow);
+  auto traffic = generator.generate();
+  Rng rng(options_.seed);
+  for (auto& vm : traffic) {
+    Rng vm_rng = rng.fork();
+    // Attack counts vary across VMs (Poisson around the configured mean),
+    // so per-VM alert tick-shares spread around k instead of clustering.
+    std::size_t count = options_.attacks_per_vm;
+    if (options_.poisson_attack_counts && count > 0) {
+      count = static_cast<std::size_t>(
+          vm_rng.poisson(static_cast<double>(options_.attacks_per_vm)));
+    }
+    auto episodes = place_episodes(vm.rho.ticks(),
+                                   options_.attack_prototype, count, vm_rng);
+    for (auto& episode : episodes) {
+      // Attacks differ in strength and duration across episodes (real
+      // floods do); this also varies each VM's alert tick-share, which
+      // smooths the selectivity sweep of Figure 5(a).
+      episode.peak_syn_rate *= vm_rng.uniform(0.3, 1.0);
+      episode.plateau = 1 + static_cast<Tick>(
+          static_cast<double>(episode.plateau) * vm_rng.uniform(0.5, 1.5));
+      inject_ddos(vm, episode, vm_rng);
+    }
+  }
+  return traffic;
+}
+
+NetworkTask NetworkWorkload::make_task(VmTraffic traffic,
+                                       double selectivity_percent,
+                                       double error_allowance) {
+  NetworkTask task;
+  task.threshold =
+      traffic.rho.threshold_for_selectivity(selectivity_percent);
+  task.traffic = std::move(traffic);
+  task.spec.global_threshold = task.threshold;
+  task.spec.error_allowance = error_allowance;
+  task.spec.id_seconds = 15.0;  // capture continuously, report every 15 s
+  return task;
+}
+
+}  // namespace volley

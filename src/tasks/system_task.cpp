@@ -1,0 +1,19 @@
+#include "tasks/system_task.h"
+
+namespace volley {
+
+SystemTask make_system_task(const SysMetricsGenerator& generator,
+                            std::size_t node, std::size_t metric,
+                            double selectivity_percent,
+                            double error_allowance) {
+  SystemTask task;
+  task.series = generator.generate_metric(node, metric);
+  task.threshold = task.series.threshold_for_selectivity(selectivity_percent);
+  task.metric = metric;
+  task.spec.global_threshold = task.threshold;
+  task.spec.error_allowance = error_allowance;
+  task.spec.id_seconds = 5.0;
+  return task;
+}
+
+}  // namespace volley

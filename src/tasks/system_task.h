@@ -1,0 +1,26 @@
+// System-level monitoring tasks (paper Section V-A): a task alerts when the
+// value of one of the 66 OS metrics on a VM exceeds a threshold chosen by
+// the alert selectivity k. Default sampling interval: 5 seconds.
+#pragma once
+
+#include <cstddef>
+
+#include "core/task.h"
+#include "trace/sysmetrics.h"
+
+namespace volley {
+
+struct SystemTask {
+  TimeSeries series;
+  double threshold{0};
+  TaskSpec spec;  // Id = 5 s
+  std::size_t metric{0};
+};
+
+/// Builds one VM/metric task: threshold at the (100-k)-th percentile.
+SystemTask make_system_task(const SysMetricsGenerator& generator,
+                            std::size_t node, std::size_t metric,
+                            double selectivity_percent,
+                            double error_allowance);
+
+}  // namespace volley

@@ -1,0 +1,129 @@
+#include "tools/source_factory.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "tasks/network_task.h"
+#include "trace/httplog.h"
+#include "trace/sysmetrics.h"
+#include "trace/trace.h"
+
+namespace volley::tools {
+
+namespace {
+
+std::unique_ptr<MetricSource> make_sine(const Config& config) {
+  const Tick ticks = config.get_int("ticks", 86400);
+  const double base = config.get_double("base", 10.0);
+  const double amplitude = config.get_double("amplitude", 5.0);
+  const double period = config.get_double("period", 1000.0);
+  const double noise = config.get_double("noise", 0.5);
+  const Tick spike_at = config.get_int("spike_at", -1);
+  const Tick spike_len = config.get_int("spike_len", 20);
+  const double spike_value = config.get_double("spike_value", 0.0);
+  Rng rng(static_cast<std::uint64_t>(config.get_int("seed", 1)));
+
+  TimeSeries series(static_cast<std::size_t>(ticks));
+  for (Tick t = 0; t < ticks; ++t) {
+    double v = base +
+               amplitude * std::sin(2.0 * std::numbers::pi *
+                                    static_cast<double>(t) / period) +
+               rng.normal(0.0, noise);
+    if (spike_at >= 0 && t >= spike_at && t < spike_at + spike_len) {
+      v += spike_value;
+    }
+    series[static_cast<std::size_t>(t)] = v;
+  }
+  return std::make_unique<SeriesSource>(std::move(series));
+}
+
+std::unique_ptr<MetricSource> make_netflow(const Config& config) {
+  NetflowOptions options;
+  options.vms = static_cast<std::size_t>(config.get_int("vms", 4));
+  options.ticks = config.get_int("ticks", 5760);
+  options.ticks_per_day = config.get_int("ticks_per_day", 5760);
+  options.mean_flows_per_tick = config.get_double("mean_flows", 40.0);
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+  const auto vm = static_cast<std::size_t>(config.get_int("vm", 0));
+  if (vm >= options.vms)
+    throw std::invalid_argument("source_factory: vm out of range");
+
+  NetflowGenerator generator(options);
+  auto traffic = generator.generate();
+  auto& chosen = traffic[vm];
+
+  const Tick attack_at = config.get_int("attack_at", -1);
+  if (attack_at >= 0) {
+    DdosEpisode attack;
+    attack.start = attack_at;
+    attack.peak_syn_rate = config.get_double("attack_peak", 2000.0);
+    Rng rng(options.seed + 1);
+    inject_ddos(chosen, attack, rng);
+  }
+  return std::make_unique<SeriesSource>(std::move(chosen.rho),
+                                        std::move(chosen.in_packets));
+}
+
+std::unique_ptr<MetricSource> make_sysmetric(const Config& config) {
+  SysMetricsOptions options;
+  options.nodes = static_cast<std::size_t>(config.get_int("nodes", 1));
+  options.ticks = config.get_int("ticks", 17280);
+  options.ticks_per_day = config.get_int("ticks_per_day", 17280);
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", 7));
+  SysMetricsGenerator generator(options);
+
+  const auto node = static_cast<std::size_t>(config.get_int("node", 0));
+  std::size_t metric = 0;
+  if (auto name = config.get("metric")) {
+    // Accept an index or an exact catalog name.
+    bool numeric = !name->empty() &&
+                   name->find_first_not_of("0123456789") == std::string::npos;
+    if (numeric) {
+      metric = static_cast<std::size_t>(std::stoull(*name));
+    } else {
+      const auto& catalog = SysMetricsGenerator::catalog();
+      bool found = false;
+      for (std::size_t i = 0; i < catalog.size(); ++i) {
+        if (catalog[i].name == *name) {
+          metric = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw std::invalid_argument("source_factory: unknown metric " + *name);
+    }
+  }
+  return std::make_unique<SeriesSource>(generator.generate_metric(node, metric));
+}
+
+std::unique_ptr<MetricSource> make_http(const Config& config) {
+  HttpLogOptions options;
+  options.objects = static_cast<std::size_t>(config.get_int("objects", 4));
+  options.ticks = config.get_int("ticks", 86400);
+  options.ticks_per_day = config.get_int("ticks_per_day", 86400);
+  options.mean_rps = config.get_double("mean_rps", 25.0);
+  options.seed = static_cast<std::uint64_t>(config.get_int("seed", 11));
+  const auto object = static_cast<std::size_t>(config.get_int("object", 0));
+  if (object >= options.objects)
+    throw std::invalid_argument("source_factory: object out of range");
+  HttpLogGenerator generator(options);
+  auto traces = generator.generate();
+  return std::make_unique<SeriesSource>(std::move(traces[object].rate));
+}
+
+}  // namespace
+
+std::unique_ptr<MetricSource> make_source(const Config& config) {
+  const std::string kind = config.get_string("source", "sine");
+  if (kind == "sine") return make_sine(config);
+  if (kind == "netflow") return make_netflow(config);
+  if (kind == "sysmetric") return make_sysmetric(config);
+  if (kind == "http") return make_http(config);
+  throw std::invalid_argument("source_factory: unknown source '" + kind + "'");
+}
+
+}  // namespace volley::tools

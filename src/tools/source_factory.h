@@ -1,0 +1,25 @@
+// Builds a MetricSource from a key=value Config — the glue that lets the
+// CLI daemons (volleyd_monitor) and scripts choose what a monitor watches
+// without recompiling.
+//
+// Config keys:
+//   source=sine      base=, amplitude=, period=, noise=, seed=
+//                    spike_at=, spike_len=, spike_value=   (optional burst)
+//   source=netflow   vm=, vms=, ticks=, mean_flows=, seed=,
+//                    attack_at=, attack_peak=               (optional)
+//   source=sysmetric node=, metric= (index or exact name), ticks=, seed=
+//   source=http      object=, objects=, ticks=, mean_rps=, seed=
+// Common:            ticks= (trace length; default 86400)
+#pragma once
+
+#include <memory>
+
+#include "common/config.h"
+#include "core/metric_source.h"
+
+namespace volley::tools {
+
+/// Throws std::invalid_argument on unknown source kinds or bad parameters.
+std::unique_ptr<MetricSource> make_source(const Config& config);
+
+}  // namespace volley::tools

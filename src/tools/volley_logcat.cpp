@@ -1,0 +1,88 @@
+// volley_logcat — inspect a persisted sample log.
+//
+//   volley_logcat file=monitor0.vlog [threshold=T] [hist=IM] [dump=1]
+//
+// Prints per-monitor sampling statistics (op counts, interval timeline),
+// optionally the alert instants above a threshold, the sampling-interval
+// histogram, or a full record dump. Tolerates truncated/corrupt tails and
+// reports how much was salvaged.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "storage/log_analysis.h"
+#include "storage/sample_log.h"
+
+int main(int argc, char** argv) {
+  using namespace volley;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Config config;
+  try {
+    config = Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return 2;
+  }
+  if (config.has("help") || !config.has("file")) {
+    std::printf("usage: volley_logcat file=PATH [threshold=T] [hist=MAX_I] "
+                "[dump=1]\n");
+    return config.has("help") ? 0 : 2;
+  }
+
+  try {
+    const auto result = read_sample_log(config.get_string("file", ""));
+    std::printf("%zu records%s\n", result.records.size(),
+                result.clean ? ""
+                             : " (log damaged; stopped at first bad record)");
+
+    const auto summaries = summarize_log(result.records);
+    for (const auto& [id, s] : summaries) {
+      std::printf("monitor %u: %lld scheduled + %lld forced ops, ticks "
+                  "[%lld, %lld], mean interval %.2f (max %lld), values "
+                  "[%.3f, %.3f]\n",
+                  id, static_cast<long long>(s.scheduled_ops),
+                  static_cast<long long>(s.forced_ops),
+                  static_cast<long long>(s.first_tick),
+                  static_cast<long long>(s.last_tick), s.mean_interval,
+                  static_cast<long long>(s.max_interval), s.min_value,
+                  s.max_value);
+    }
+
+    if (config.has("threshold")) {
+      const double threshold = config.get_double("threshold", 0.0);
+      const auto alerts = alerts_in_log(result.records, threshold);
+      std::printf("%zu observations above %.3f:\n", alerts.size(), threshold);
+      for (const auto& alert : alerts) {
+        std::printf("  monitor %u tick %lld value %.3f\n", alert.monitor,
+                    static_cast<long long>(alert.tick), alert.value);
+      }
+    }
+
+    if (config.has("hist")) {
+      const Tick max_interval = config.get_int("hist", 16);
+      const auto hist = interval_histogram(result.records, max_interval);
+      std::printf("interval histogram (gap: count):\n");
+      for (std::size_t i = 1; i < hist.size(); ++i) {
+        if (hist[i] > 0) {
+          std::printf("  %zu%s: %lld\n", i,
+                      i + 1 == hist.size() ? "+" : "",
+                      static_cast<long long>(hist[i]));
+        }
+      }
+    }
+
+    if (config.get_bool("dump", false)) {
+      for (const auto& record : result.records) {
+        std::printf("%u %lld %.6f %s\n", record.monitor,
+                    static_cast<long long>(record.tick), record.value,
+                    record.reason == SampleReason::kScheduled ? "sched"
+                                                              : "poll");
+      }
+    }
+    return result.clean ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volley_logcat: %s\n", e.what());
+    return 1;
+  }
+}

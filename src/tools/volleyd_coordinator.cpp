@@ -1,0 +1,75 @@
+// volleyd_coordinator — the Volley coordinator as a standalone daemon.
+//
+//   volleyd_coordinator monitors=3 port=7601 threshold=9.0 err=0.03 \
+//                       allocation=adaptive poll_timeout_ms=1000
+//
+// Listens for `monitors` MonitorNode connections, runs the session
+// (global polls on local violations, error-allowance reallocation), prints
+// alerts as they arrive after the run, and exits when all monitors say Bye.
+// port=0 picks a free port and prints it, so scripts can wire monitors up.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "net/coordinator_node.h"
+
+int main(int argc, char** argv) {
+  using namespace volley;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Config config;
+  try {
+    config = Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return 2;
+  }
+  if (config.has("help")) {
+    std::printf("usage: volleyd_coordinator monitors=N [port=P] "
+                "[threshold=T] [err=E] [allocation=adaptive|even] "
+                "[poll_timeout_ms=MS] [idle_timeout_ms=MS]\n");
+    return 0;
+  }
+
+  net::CoordinatorNodeOptions options;
+  try {
+    options.monitors =
+        static_cast<std::size_t>(config.get_int("monitors", 1));
+    options.port = static_cast<std::uint16_t>(config.get_int("port", 0));
+    options.global_threshold = config.get_double("threshold", 0.0);
+    options.error_allowance = config.get_double("err", 0.01);
+    options.adaptive_allocation =
+        config.get_string("allocation", "adaptive") == "adaptive";
+    options.poll_timeout_ms =
+        static_cast<int>(config.get_int("poll_timeout_ms", 1000));
+    options.idle_timeout_ms =
+        static_cast<int>(config.get_int("idle_timeout_ms", 30000));
+
+    net::CoordinatorNode node(options);
+    std::printf("volleyd_coordinator: listening on 127.0.0.1:%u for %zu "
+                "monitor(s), T=%.3f err=%.4f (%s allocation)\n",
+                node.port(), options.monitors, options.global_threshold,
+                options.error_allowance,
+                options.adaptive_allocation ? "adaptive" : "even");
+    std::fflush(stdout);
+    node.run();
+
+    std::printf("session finished: %lld global polls, %lld reallocations, "
+                "%zu alerts\n",
+                static_cast<long long>(node.global_polls()),
+                static_cast<long long>(node.reallocations()),
+                node.alerts().size());
+    for (const auto& alert : node.alerts()) {
+      std::printf("  ALERT tick=%lld aggregate=%.3f\n",
+                  static_cast<long long>(alert.tick), alert.value);
+    }
+    for (const auto& [id, ops] : node.reported_ops()) {
+      std::printf("  monitor %u: %lld sampling ops\n", id,
+                  static_cast<long long>(ops));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volleyd_coordinator: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,81 @@
+#include "trace/ddos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+void DdosEpisode::validate() const {
+  if (start < 0) throw std::invalid_argument("DdosEpisode: start >= 0");
+  if (ramp < 0 || plateau < 0 || decay < 0)
+    throw std::invalid_argument("DdosEpisode: non-negative phases");
+  if (length() < 1) throw std::invalid_argument("DdosEpisode: length >= 1");
+  if (peak_syn_rate <= 0.0)
+    throw std::invalid_argument("DdosEpisode: peak_syn_rate > 0");
+  if (response_collapse < 0.0 || response_collapse > 1.0)
+    throw std::invalid_argument("DdosEpisode: response_collapse in [0,1]");
+}
+
+void inject_ddos(VmTraffic& traffic, const DdosEpisode& episode, Rng& rng) {
+  episode.validate();
+  const Tick n = traffic.rho.ticks();
+  if (traffic.in_packets.ticks() != n)
+    throw std::invalid_argument("inject_ddos: malformed VmTraffic");
+
+  for (Tick off = 0; off < episode.length(); ++off) {
+    const Tick t = episode.start + off;
+    if (t < 0 || t >= n) continue;
+    double intensity;
+    if (off < episode.ramp) {
+      intensity = static_cast<double>(off + 1) /
+                  static_cast<double>(std::max<Tick>(episode.ramp, 1));
+    } else if (off < episode.ramp + episode.plateau) {
+      intensity = 1.0;
+    } else {
+      const Tick into_decay = off - episode.ramp - episode.plateau;
+      intensity = static_cast<double>(episode.decay - into_decay) /
+                  static_cast<double>(std::max<Tick>(episode.decay, 1));
+    }
+    const double mean_syns = episode.peak_syn_rate * intensity;
+    if (mean_syns <= 0.0) continue;
+    const auto attack_syns = static_cast<double>(rng.poisson(mean_syns));
+    // The victim answers only the fraction that survives the collapse.
+    const double answered = attack_syns * (1.0 - episode.response_collapse);
+    const auto i = static_cast<std::size_t>(t);
+    traffic.rho[i] += attack_syns - answered;
+    traffic.in_packets[i] += attack_syns;
+  }
+}
+
+std::vector<DdosEpisode> place_episodes(Tick trace_ticks,
+                                        const DdosEpisode& prototype,
+                                        std::size_t count, Rng& rng) {
+  prototype.validate();
+  if (trace_ticks < prototype.length())
+    throw std::invalid_argument("place_episodes: trace shorter than episode");
+  std::vector<DdosEpisode> placed;
+  int rejections = 0;
+  const int max_rejections = 1000;
+  while (placed.size() < count && rejections < max_rejections) {
+    DdosEpisode e = prototype;
+    e.start = rng.uniform_int(0, trace_ticks - e.length());
+    const bool overlaps = std::any_of(
+        placed.begin(), placed.end(), [&](const DdosEpisode& other) {
+          return e.start < other.start + other.length() &&
+                 other.start < e.start + e.length();
+        });
+    if (overlaps) {
+      ++rejections;
+      continue;
+    }
+    placed.push_back(e);
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const DdosEpisode& a, const DdosEpisode& b) {
+              return a.start < b.start;
+            });
+  return placed;
+}
+
+}  // namespace volley

@@ -1,0 +1,45 @@
+// SYN-flood injection (the attack model of paper Section II-A, after [9]):
+// a DDoS episode sends a growing stream of SYN packets to the victim while
+// the victim's capacity to answer with SYN-ACKs collapses, so the monitored
+// asymmetry rho = Pi - Po ramps up, plateaus, and decays.
+//
+// Episodes are injected *into* a benign VmTraffic trace produced by the
+// netflow generator: attack SYNs add to Pi (all attack packets carry SYN)
+// and to the inspection cost; the victim answers only a shrinking fraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "trace/netflow.h"
+
+namespace volley {
+
+struct DdosEpisode {
+  Tick start{0};
+  Tick ramp{8};          // ticks from 0 to peak intensity
+  Tick plateau{16};      // ticks at peak
+  Tick decay{8};         // ticks back to 0
+  double peak_syn_rate{500.0};  // attack SYN packets per tick at peak
+  double response_collapse{0.9};  // fraction of attack SYNs left unanswered
+
+  Tick length() const { return ramp + plateau + decay; }
+  void validate() const;
+};
+
+/// Adds the episode's effect to `traffic` in place. Attack SYN counts get
+/// Poisson dispersion from `rng`. Episodes past the end of the trace are
+/// truncated.
+void inject_ddos(VmTraffic& traffic, const DdosEpisode& episode, Rng& rng);
+
+/// Draws `count` non-overlapping episodes uniformly over the trace with the
+/// given template (start fields are ignored in `prototype`). Gives up on
+/// placement after a bounded number of rejections, so the returned vector
+/// may be shorter than `count` for crowded traces.
+std::vector<DdosEpisode> place_episodes(Tick trace_ticks,
+                                        const DdosEpisode& prototype,
+                                        std::size_t count, Rng& rng);
+
+}  // namespace volley

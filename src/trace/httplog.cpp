@@ -1,0 +1,68 @@
+#include "trace/httplog.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+void HttpLogOptions::validate() const {
+  if (objects == 0) throw std::invalid_argument("HttpLogOptions: objects > 0");
+  if (ticks < 1) throw std::invalid_argument("HttpLogOptions: ticks >= 1");
+  if (ticks_per_day < 1)
+    throw std::invalid_argument("HttpLogOptions: ticks_per_day >= 1");
+  if (mean_rps <= 0.0)
+    throw std::invalid_argument("HttpLogOptions: mean_rps > 0");
+  if (flash_boost < 0.0)
+    throw std::invalid_argument("HttpLogOptions: flash_boost >= 0");
+  if (error_rate < 0.0 || error_rate > 1.0)
+    throw std::invalid_argument("HttpLogOptions: error_rate in [0,1]");
+}
+
+HttpLogGenerator::HttpLogGenerator(const HttpLogOptions& options)
+    : options_(options),
+      popularity_(options.objects == 0 ? 1 : options.objects,
+                  options.zipf_skew),
+      diurnal_(options.ticks_per_day, options.diurnal_depth,
+               options.diurnal_phase) {
+  options_.validate();
+}
+
+std::vector<HttpLogGenerator::ObjectTrace> HttpLogGenerator::generate() const {
+  Rng master(options_.seed);
+  std::vector<ObjectTrace> out(options_.objects);
+  for (std::uint32_t o = 0; o < options_.objects; ++o) {
+    Rng rng = master.fork();
+    BurstProcess flash(options_.flash, rng);
+    auto& trace = out[o];
+    trace.rate = TimeSeries(static_cast<std::size_t>(options_.ticks));
+    const double base = static_cast<double>(options_.objects) *
+                        options_.mean_rps * popularity_.pmf(o + 1);
+    for (Tick t = 0; t < options_.ticks; ++t) {
+      const double crowd = 1.0 + options_.flash_boost * flash.next(rng);
+      const double lambda = base * diurnal_.multiplier(t) * crowd;
+      trace.rate[static_cast<std::size_t>(t)] =
+          static_cast<double>(rng.poisson(lambda));
+    }
+  }
+  return out;
+}
+
+std::vector<AccessLogRecord> HttpLogGenerator::synthesize_tick(
+    Tick t, std::uint32_t object, std::int64_t count, Rng& rng) const {
+  std::vector<AccessLogRecord> records;
+  if (count < 0) throw std::invalid_argument("synthesize_tick: count >= 0");
+  records.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    AccessLogRecord rec;
+    rec.tick = t;
+    rec.object = object;
+    rec.client = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20));
+    rec.bytes = static_cast<std::int64_t>(
+        std::llround(rng.lognormal(std::log(options_.mean_bytes), 0.8)));
+    rec.status = rng.bernoulli(options_.error_rate) ? 503 : 200;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace volley

@@ -1,0 +1,81 @@
+// Synthetic web-workload substrate — the stand-in for the WorldCup'98 HTTP
+// trace (>1 billion requests over 30 servers) the paper replays for its
+// application-level tasks (Section V-A).
+//
+// The monitored state of an application-level task is the *access rate of an
+// object* (video, page) on a VM over the last default interval (1 s). The
+// WorldCup workload's signature features, both of which Figure 5(c)'s large
+// savings depend on, are reproduced:
+//  * a strong diurnal cycle with long, nearly idle off-peak valleys, and
+//  * bursty request arrival — flash crowds that multiply an object's rate
+//    for minutes (match kickoffs in the original trace).
+//
+// Per object o and tick t:
+//   rate_o(t) ~ Poisson( base * zipf_pmf(o) * diurnal(t) * (1 + flash_o(t)) )
+// where flash_o is a BurstProcess envelope scaled by `flash_boost`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace volley {
+
+/// One access-log line (record-level API for tests and the socket demo).
+struct AccessLogRecord {
+  Tick tick{0};
+  std::uint32_t object{0};
+  std::uint32_t client{0};
+  std::int64_t bytes{0};
+  int status{200};
+};
+
+struct HttpLogOptions {
+  std::size_t objects{30};
+  Tick ticks{86400};          // 1 day at 1 s
+  Tick ticks_per_day{86400};
+  double diurnal_depth{0.9};  // deep off-peak valley
+  Tick diurnal_phase{43200};
+  double mean_rps{40.0};      // fleet-average requests/object/tick at peak
+  double zipf_skew{1.1};      // object popularity
+  double flash_boost{6.0};    // flash crowd multiplies rate by up to 1+boost
+  BurstProcess::Options flash{8000.0, 30, 120, 90, 0.5, 1.0};
+  double mean_bytes{12000.0};
+  double error_rate{0.01};    // fraction of non-200 responses
+  std::uint64_t seed{11};
+
+  void validate() const;
+};
+
+class HttpLogGenerator {
+ public:
+  explicit HttpLogGenerator(const HttpLogOptions& options);
+
+  /// Per-object access-rate series (requests per tick). Deterministic in
+  /// the seed. Also reports the per-tick total request volume per object as
+  /// the sampling-cost driver (log lines a sampling operation must parse).
+  struct ObjectTrace {
+    TimeSeries rate;       // monitored state: accesses in the last tick
+  };
+
+  std::vector<ObjectTrace> generate() const;
+
+  /// Record-level synthesis of one object's requests in one tick given the
+  /// rate already drawn for that tick.
+  std::vector<AccessLogRecord> synthesize_tick(Tick t, std::uint32_t object,
+                                               std::int64_t count,
+                                               Rng& rng) const;
+
+  const HttpLogOptions& options() const { return options_; }
+
+ private:
+  HttpLogOptions options_;
+  ZipfDistribution popularity_;
+  DiurnalCurve diurnal_;
+};
+
+}  // namespace volley

@@ -1,0 +1,141 @@
+#include "trace/netflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+void NetflowOptions::validate() const {
+  if (vms == 0) throw std::invalid_argument("NetflowOptions: vms > 0");
+  if (ticks < 1) throw std::invalid_argument("NetflowOptions: ticks >= 1");
+  if (ticks_per_day < 1)
+    throw std::invalid_argument("NetflowOptions: ticks_per_day >= 1");
+  if (mean_flows_per_tick <= 0.0)
+    throw std::invalid_argument("NetflowOptions: mean_flows_per_tick > 0");
+  if (reply_ratio < 0.0 || reply_ratio > 1.0)
+    throw std::invalid_argument("NetflowOptions: reply_ratio in [0,1]");
+  if (syn_prob <= 0.0 || syn_prob > 1.0)
+    throw std::invalid_argument("NetflowOptions: syn_prob in (0,1]");
+  if (off_rate < 0.0 || off_rate > 1.0 || on_rate <= 0.0 || on_rate > 1.0)
+    throw std::invalid_argument("NetflowOptions: gate rates in [0,1]");
+  if (off_floor < 0.0 || off_floor > 1.0)
+    throw std::invalid_argument("NetflowOptions: off_floor in [0,1]");
+}
+
+NetflowGenerator::NetflowGenerator(const NetflowOptions& options)
+    : options_(options),
+      popularity_(options.vms == 0 ? 1 : options.vms, options.zipf_skew),
+      diurnal_(options.ticks_per_day, options.diurnal_depth,
+               options.diurnal_phase) {
+  options_.validate();
+}
+
+double NetflowGenerator::flow_rate(Tick t, std::uint32_t dst_vm) const {
+  if (dst_vm >= options_.vms)
+    throw std::out_of_range("NetflowGenerator: dst_vm out of range");
+  // pmf is over ranks 1..vms; VM id v gets rank v+1.
+  return static_cast<double>(options_.vms) * options_.mean_flows_per_tick *
+         popularity_.pmf(dst_vm + 1) * diurnal_.multiplier(t);
+}
+
+namespace {
+/// Expected packets per flow for the 1 + lognormal(mu, sigma) model.
+double mean_packets_per_flow(const NetflowOptions& o) {
+  return 1.0 + std::exp(o.packets_mu + 0.5 * o.packets_sigma * o.packets_sigma);
+}
+
+/// Binomial(n, p) sampled exactly for small n and via a normal
+/// approximation for large n (traffic windows reach 10^5 packets; exact
+/// sampling would dominate generation time).
+std::int64_t sample_binomial(std::int64_t n, double p, Rng& rng) {
+  if (n <= 0) return 0;
+  if (n < 64) {
+    std::int64_t k = 0;
+    for (std::int64_t i = 0; i < n; ++i) k += rng.bernoulli(p) ? 1 : 0;
+    return k;
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double draw = std::round(rng.normal(mean, sd));
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(draw), 0, n);
+}
+}  // namespace
+
+std::vector<VmTraffic> NetflowGenerator::generate() const {
+  Rng master(options_.seed);
+  std::vector<VmTraffic> out(options_.vms);
+  const double ppf = mean_packets_per_flow(options_);
+
+  for (std::uint32_t v = 0; v < options_.vms; ++v) {
+    Rng rng = master.fork();
+    auto& traffic = out[v];
+    traffic.rho = TimeSeries(static_cast<std::size_t>(options_.ticks));
+    traffic.in_packets =
+        TimeSeries(static_cast<std::size_t>(options_.ticks));
+
+    bool session_on = true;
+    for (Tick t = 0; t < options_.ticks; ++t) {
+      if (options_.off_rate > 0.0) {
+        if (session_on && rng.bernoulli(options_.off_rate)) {
+          session_on = false;
+        } else if (!session_on && rng.bernoulli(options_.on_rate)) {
+          session_on = true;
+        }
+      }
+      const double gate = session_on ? 1.0 : options_.off_floor;
+      const double lambda = flow_rate(t, v) * gate;
+      const std::int64_t flows = rng.poisson(lambda);
+      // Aggregate incoming packets: flows * E[packets/flow] with
+      // Poisson-scale dispersion (sum of heavy-tailed flow sizes).
+      double pkts = 0.0;
+      if (flows > 0) {
+        const double mean_pkts = static_cast<double>(flows) * ppf;
+        const double sd = std::sqrt(mean_pkts) * (1.0 + options_.packets_sigma);
+        pkts = std::max(static_cast<double>(flows),
+                        std::round(rng.normal(mean_pkts, sd)));
+      }
+      const auto in_pkts = static_cast<std::int64_t>(pkts);
+      // Benign reply volume: just under the incoming volume.
+      const double ratio = std::clamp(
+          options_.reply_ratio + rng.normal(0.0, options_.reply_jitter), 0.0,
+          1.0);
+      const auto out_pkts = static_cast<std::int64_t>(
+          std::round(static_cast<double>(in_pkts) * ratio));
+
+      const std::int64_t pi = sample_binomial(in_pkts, options_.syn_prob, rng);
+      const std::int64_t po = sample_binomial(out_pkts, options_.syn_prob, rng);
+      traffic.rho[static_cast<std::size_t>(t)] =
+          static_cast<double>(pi - po);
+      traffic.in_packets[static_cast<std::size_t>(t)] =
+          static_cast<double>(in_pkts);
+    }
+  }
+  return out;
+}
+
+std::vector<FlowRecord> NetflowGenerator::synthesize_window(
+    Tick t, std::uint32_t dst_vm, Rng& rng) const {
+  const double lambda = flow_rate(t, dst_vm);
+  const std::int64_t flows = rng.poisson(lambda);
+  std::vector<FlowRecord> records;
+  records.reserve(static_cast<std::size_t>(flows));
+  for (std::int64_t f = 0; f < flows; ++f) {
+    FlowRecord rec;
+    rec.window = t;
+    rec.dst_vm = dst_vm;
+    rec.src_vm = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(options_.vms) - 1));
+    rec.packets = 1 + static_cast<std::int64_t>(std::llround(
+                          rng.lognormal(options_.packets_mu,
+                                        options_.packets_sigma)));
+    rec.bytes = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(rec.packets) *
+                     options_.bytes_per_packet));
+    rec.syn_packets = sample_binomial(rec.packets, options_.syn_prob, rng);
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace volley

@@ -1,0 +1,103 @@
+// Synthetic netflow-like traffic substrate — the stand-in for the Internet2
+// netflow v5 archive the paper replays (Section V-A). See DESIGN.md
+// "Substitutions" for the fidelity argument.
+//
+// Model, per VM v and 15-second tick t:
+//  * incoming flow arrivals ~ Poisson(lambda_v(t)) with
+//    lambda_v(t) = vms * mean_flows_per_tick * zipf_pmf(v) * diurnal(t):
+//    VM popularity is Zipf (the paper maps Internet2 addresses uniformly
+//    onto VMs; address popularity in the backbone is itself heavy-tailed)
+//    and volume follows a deep day/night cycle.
+//  * packets per flow ~ 1 + lognormal(mu, sigma) (heavy-tailed flow sizes).
+//  * the VM answers flows with reply traffic of `reply_ratio` (~0.97) times
+//    the incoming packet volume (benign loss/timeouts keep it just under 1).
+//  * per the paper, every packet carries a SYN flag with probability
+//    p = 0.1 (incoming) resp. SYN+ACK with p = 0.1 (outgoing), so
+//    rho_v(t) = Pi - Po = Binomial(in_pkts, p) - Binomial(out_pkts, p):
+//    a near-zero-mean series whose variance scales with traffic volume —
+//    stable at night, noisier at peak, exactly the behaviour Figure 5(a)
+//    exploits.
+//
+// The record-level API (`synthesize_window`) materializes individual flow
+// records with the same distributions; the bulk API aggregates counts
+// directly so that 800-VM, multi-day traces stay cheap to produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace volley {
+
+/// One observed flow within a sampling window (netflow v5-like fields).
+struct FlowRecord {
+  Tick window{0};
+  std::uint32_t src_vm{0};
+  std::uint32_t dst_vm{0};
+  std::int64_t packets{0};
+  std::int64_t bytes{0};
+  std::int64_t syn_packets{0};  // packets with the SYN flag set
+};
+
+struct NetflowOptions {
+  std::size_t vms{40};
+  Tick ticks{5760};           // trace length; 5760 x 15s = 1 day
+  Tick ticks_per_day{5760};   // diurnal period
+  double diurnal_depth{0.85}; // night volume = (1 - depth) * peak
+  Tick diurnal_phase{2880};   // peak at mid-trace by default
+  double mean_flows_per_tick{60.0};  // fleet-average incoming flows/VM/tick
+  double zipf_skew{1.0};      // VM popularity skew
+  double packets_mu{2.0};     // lognormal packets-per-flow parameters
+  double packets_sigma{1.0};
+  double bytes_per_packet{800.0};
+  double reply_ratio{0.97};   // outgoing/incoming benign packet volume
+  double reply_jitter{0.02};  // lognormal-ish jitter on the reply ratio
+  double syn_prob{0.1};       // p from the paper; rho is insensitive to it
+  // Per-VM session (on/off) gating: traffic to a single address arrives in
+  // sessions, leaving many near-silent windows at any time of day. Markov
+  // gate: P(on->off) = off_rate, P(off->on) = on_rate per tick; while off,
+  // volume is scaled by off_floor. off_rate = 0 disables gating (default).
+  double off_rate{0.0};
+  double on_rate{1.0 / 180.0};
+  double off_floor{0.03};
+  std::uint64_t seed{1};
+
+  void validate() const;
+};
+
+/// Per-VM traffic trace: the monitored state series rho and the
+/// per-tick incoming packet volume (deep-packet-inspection cost driver).
+struct VmTraffic {
+  TimeSeries rho;         // Pi - Po (SYN in minus SYN-ACK out)
+  TimeSeries in_packets;  // packets a sampling operation must inspect
+};
+
+class NetflowGenerator {
+ public:
+  explicit NetflowGenerator(const NetflowOptions& options);
+
+  /// Bulk generation of all VM traces (aggregated counts).
+  std::vector<VmTraffic> generate() const;
+
+  /// Record-level synthesis of one VM's incoming flows in one window,
+  /// sharing the bulk path's distributions. For tests, examples and the
+  /// socket runtime demo.
+  std::vector<FlowRecord> synthesize_window(Tick t, std::uint32_t dst_vm,
+                                            Rng& rng) const;
+
+  /// Expected incoming flow arrivals for a VM at a tick.
+  double flow_rate(Tick t, std::uint32_t dst_vm) const;
+
+  const NetflowOptions& options() const { return options_; }
+
+ private:
+  NetflowOptions options_;
+  ZipfDistribution popularity_;
+  DiurnalCurve diurnal_;
+};
+
+}  // namespace volley

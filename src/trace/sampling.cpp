@@ -1,0 +1,62 @@
+#include "trace/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace volley {
+
+void ThinningOptions::validate() const {
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("ThinningOptions: fraction in (0,1]");
+  if (syn_prob <= 0.0 || syn_prob > 1.0)
+    throw std::invalid_argument("ThinningOptions: syn_prob in (0,1]");
+}
+
+namespace {
+std::int64_t binomial(std::int64_t n, double p, Rng& rng) {
+  if (n <= 0) return 0;
+  if (n < 64) {
+    std::int64_t k = 0;
+    for (std::int64_t i = 0; i < n; ++i) k += rng.bernoulli(p) ? 1 : 0;
+    return k;
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  return std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::llround(rng.normal(mean, sd))), 0, n);
+}
+}  // namespace
+
+VmTraffic thin_traffic(const VmTraffic& traffic,
+                       const ThinningOptions& options, Rng& rng) {
+  options.validate();
+  const std::size_t n = traffic.rho.size();
+  if (traffic.in_packets.size() != n)
+    throw std::invalid_argument("thin_traffic: malformed VmTraffic");
+
+  VmTraffic out;
+  out.rho = TimeSeries(n);
+  out.in_packets = TimeSeries(n);
+  const double f = options.fraction;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double pkts = traffic.in_packets[t];
+    const double rho = traffic.rho[t];
+    // Reconstruct approximate SYN counts: benign SYN volume is
+    // syn_prob * packets on each direction; the asymmetry rho sits on the
+    // incoming side (attack SYNs) or outgoing side (negative rho).
+    const double base = options.syn_prob * pkts;
+    const auto pi = static_cast<std::int64_t>(
+        std::llround(std::max(base + std::max(rho, 0.0), 0.0)));
+    const auto po = static_cast<std::int64_t>(
+        std::llround(std::max(base + std::max(-rho, 0.0), 0.0)));
+    // What a fraction-f sampler reports: thinned counts scaled back by 1/f.
+    const double pi_hat = static_cast<double>(binomial(pi, f, rng)) / f;
+    const double po_hat = static_cast<double>(binomial(po, f, rng)) / f;
+    out.rho[t] = pi_hat - po_hat;
+    out.in_packets[t] = pkts * f;  // only f of the packets are inspected
+  }
+  return out;
+}
+
+}  // namespace volley

@@ -1,0 +1,36 @@
+// Random (packet-level) sampling composition — paper Section VI: "Volley is
+// complementary to random sampling as it can be used together with random
+// sampling to offer additional cost savings by scheduling sampling
+// operations."
+//
+// Random sampling inspects only a fraction f of packets and scales counts
+// by 1/f; it cuts the per-operation DPI cost linearly but adds estimation
+// noise to the monitored value (binomial thinning). Volley then schedules
+// *when* those cheapened operations run. `thin_traffic` produces the
+// rho / cost series a fraction-f sampler would observe, so the two
+// techniques can be composed and their cost-accuracy frontier measured
+// (bench_random_sampling).
+#pragma once
+
+#include "common/rng.h"
+#include "trace/netflow.h"
+
+namespace volley {
+
+struct ThinningOptions {
+  double fraction{0.1};  // f: fraction of packets inspected, in (0, 1]
+  double syn_prob{0.1};  // the SYN tagging probability of the base traffic
+
+  void validate() const;
+};
+
+/// The traffic a fraction-f packet sampler observes: rho is re-estimated
+/// from thinned SYN counts (Binomial(count, f) scaled by 1/f), and the
+/// inspected-packet cost series shrinks by f. The thinning noise model
+/// treats the original SYN counts as Pi ~ rho_+ and Po deduced from the
+/// reported rho and volume — exact per-packet replay is not retained by
+/// VmTraffic, so the variance is synthesized from the same binomial law.
+VmTraffic thin_traffic(const VmTraffic& traffic, const ThinningOptions& options,
+                       Rng& rng);
+
+}  // namespace volley

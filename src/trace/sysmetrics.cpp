@@ -1,0 +1,181 @@
+#include "trace/sysmetrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace volley {
+
+void SysMetricsOptions::validate() const {
+  if (nodes == 0) throw std::invalid_argument("SysMetricsOptions: nodes > 0");
+  if (ticks < 1) throw std::invalid_argument("SysMetricsOptions: ticks >= 1");
+  if (ticks_per_day < 1)
+    throw std::invalid_argument("SysMetricsOptions: ticks_per_day >= 1");
+  if (regime_shift_rate < 0.0 || regime_shift_rate > 1.0)
+    throw std::invalid_argument(
+        "SysMetricsOptions: regime_shift_rate in [0,1]");
+  if (regime_shift_hold < 1)
+    throw std::invalid_argument("SysMetricsOptions: regime_shift_hold >= 1");
+  if (sigma_load_floor <= 0.0 || sigma_load_floor > 1.0)
+    throw std::invalid_argument("SysMetricsOptions: sigma_load_floor in (0,1]");
+}
+
+namespace {
+std::vector<MetricSpec> build_catalog() {
+  std::vector<MetricSpec> c;
+  auto add = [&c](std::string name, double lo, double hi, double mean,
+                  double theta, double sigma, double diurnal_gain,
+                  double spike_rate = 0.0, double spike_scale = 0.0) {
+    c.push_back(MetricSpec{std::move(name), lo, hi, mean, theta, sigma,
+                           diurnal_gain, spike_rate, spike_scale});
+  };
+
+  // CPU (8): percentages; user/system track load, idle mirrors it.
+  add("cpu.user", 0, 100, 35, 0.10, 4.0, 25);
+  add("cpu.system", 0, 100, 10, 0.10, 2.0, 8);
+  add("cpu.idle", 0, 100, 50, 0.10, 5.0, -30);
+  add("cpu.iowait", 0, 100, 4, 0.15, 1.5, 3, 1.0 / 900, 40);
+  add("cpu.steal", 0, 100, 1, 0.20, 0.5, 1);
+  add("cpu.nice", 0, 100, 1, 0.20, 0.4, 0);
+  add("cpu.irq", 0, 100, 1, 0.20, 0.3, 1);
+  add("cpu.softirq", 0, 100, 2, 0.20, 0.6, 2);
+
+  // Memory (10): MB on a 4 GB guest (the paper's VMs have 256 MB; ranges
+  // only set the scale of the process, not the algorithm's behaviour).
+  add("mem.free", 0, 4096, 1500, 0.05, 60, -400);
+  add("mem.cached", 0, 4096, 1200, 0.03, 40, 200);
+  add("mem.buffers", 0, 1024, 250, 0.05, 15, 40);
+  add("mem.active", 0, 4096, 1600, 0.05, 50, 300);
+  add("mem.inactive", 0, 4096, 900, 0.05, 40, 100);
+  add("mem.dirty", 0, 512, 40, 0.20, 12, 20);
+  add("mem.swap_used", 0, 2048, 100, 0.02, 10, 30);
+  add("mem.slab", 0, 512, 120, 0.05, 8, 10);
+  add("mem.pagetables", 0, 256, 30, 0.05, 3, 5);
+  add("mem.committed", 0, 8192, 2600, 0.04, 80, 400);
+
+  // vmstat (12): rates per second.
+  add("vmstat.procs_running", 0, 64, 3, 0.25, 1.2, 3);
+  add("vmstat.procs_blocked", 0, 64, 1, 0.30, 0.8, 1, 1.0 / 800, 12);
+  add("vmstat.swap_in", 0, 5000, 50, 0.25, 40, 30, 1.0 / 600, 1500);
+  add("vmstat.swap_out", 0, 5000, 40, 0.25, 35, 30, 1.0 / 600, 1400);
+  add("vmstat.blocks_in", 0, 50000, 3000, 0.15, 700, 2000);
+  add("vmstat.blocks_out", 0, 50000, 2500, 0.15, 650, 1800);
+  add("vmstat.interrupts", 0, 20000, 2400, 0.15, 350, 1500);
+  add("vmstat.ctx_switches", 0, 50000, 6000, 0.15, 900, 4000);
+  add("vmstat.pgfault", 0, 100000, 9000, 0.15, 1800, 5000);
+  add("vmstat.pgmajfault", 0, 1000, 15, 0.25, 8, 10, 1.0 / 500, 300);
+  add("vmstat.pgscan", 0, 20000, 400, 0.20, 150, 200, 1.0 / 700, 6000);
+  add("vmstat.pgsteal", 0, 20000, 300, 0.20, 120, 150, 1.0 / 700, 5000);
+
+  // Disk (16): four devices x usage/read/write/await.
+  for (int d = 0; d < 4; ++d) {
+    const std::string dev = "disk" + std::to_string(d);
+    add(dev + ".usage", 0, 100, 45 + 8 * d, 0.01, 0.4, 2);
+    add(dev + ".read_ops", 0, 5000, 250, 0.15, 60, 150);
+    add(dev + ".write_ops", 0, 5000, 350, 0.15, 80, 220);
+    add(dev + ".await_ms", 0, 500, 8, 0.20, 4, 6, 1.0 / 900, 150);
+  }
+
+  // Network (12): two interfaces x rx/tx bytes/packets/errors.
+  for (int i = 0; i < 2; ++i) {
+    const std::string ifc = "net" + std::to_string(i);
+    add(ifc + ".rx_mbps", 0, 1000, 90, 0.12, 18, 120);
+    add(ifc + ".tx_mbps", 0, 1000, 70, 0.12, 15, 100);
+    add(ifc + ".rx_pps", 0, 200000, 14000, 0.12, 2500, 16000);
+    add(ifc + ".tx_pps", 0, 200000, 11000, 0.12, 2200, 13000);
+    add(ifc + ".rx_errs", 0, 100, 1, 0.30, 0.6, 1, 1.0 / 1000, 30);
+    add(ifc + ".tx_drops", 0, 100, 1, 0.30, 0.6, 1, 1.0 / 1000, 30);
+  }
+
+  // Misc (8): load averages, files, sockets, uptime-ish counters.
+  add("load.1m", 0, 32, 1.5, 0.15, 0.5, 2.0);
+  add("load.5m", 0, 32, 1.4, 0.08, 0.3, 1.8);
+  add("load.15m", 0, 32, 1.3, 0.04, 0.2, 1.6);
+  add("fd.open", 0, 65536, 2200, 0.05, 150, 800);
+  add("sockets.tcp_established", 0, 20000, 900, 0.10, 130, 700);
+  add("sockets.tcp_timewait", 0, 20000, 400, 0.15, 90, 350);
+  add("procs.total", 0, 1024, 160, 0.05, 8, 25);
+  add("threads.total", 0, 8192, 900, 0.05, 40, 120);
+
+  return c;
+}
+}  // namespace
+
+const std::vector<MetricSpec>& SysMetricsGenerator::catalog() {
+  static const std::vector<MetricSpec> kCatalog = build_catalog();
+  return kCatalog;
+}
+
+SysMetricsGenerator::SysMetricsGenerator(const SysMetricsOptions& options)
+    : options_(options),
+      diurnal_(options.ticks_per_day, options.diurnal_depth,
+               options.diurnal_phase) {
+  options_.validate();
+}
+
+TimeSeries SysMetricsGenerator::generate_metric(std::size_t node,
+                                                std::size_t metric) const {
+  if (node >= options_.nodes)
+    throw std::out_of_range("SysMetricsGenerator: node out of range");
+  const auto& specs = catalog();
+  if (metric >= specs.size())
+    throw std::out_of_range("SysMetricsGenerator: metric out of range");
+  const MetricSpec& spec = specs[metric];
+
+  // Deterministic per (seed, node, metric) stream.
+  Rng rng(options_.seed * 0x9E3779B97F4A7C15ull + node * 1000003ull +
+          metric * 7919ull + 1);
+
+  TimeSeries out(static_cast<std::size_t>(options_.ticks));
+  double x = std::clamp(spec.mean + rng.normal(0.0, spec.sigma), spec.lo,
+                        spec.hi);
+  double shift = 0.0;
+  Tick shift_left = 0;
+  for (Tick t = 0; t < options_.ticks; ++t) {
+    // Diurnal coupling: the load multiplier in [1-depth, 1] is recentered
+    // to [-0.5, 0.5] and scales the metric's diurnal gain; its [0, 1]
+    // normalization scales the noise (calm off-peak, jittery at peak).
+    const double load = diurnal_.multiplier(t);
+    double centered = 0.0;
+    double load_norm = 1.0;
+    if (options_.diurnal_depth > 0.0) {
+      load_norm = (load - (1.0 - options_.diurnal_depth)) /
+                  options_.diurnal_depth;  // in [0, 1]
+      centered = load_norm - 0.5;
+    }
+
+    if (shift_left > 0) {
+      --shift_left;
+      if (shift_left == 0) shift = 0.0;
+    } else if (rng.bernoulli(options_.regime_shift_rate)) {
+      shift = rng.normal(0.0, 3.0 * spec.sigma / spec.theta * 0.2);
+      shift_left = options_.regime_shift_hold;
+    }
+
+    const double target = std::clamp(
+        spec.mean + spec.diurnal_gain * centered + shift, spec.lo, spec.hi);
+    const double sigma_t =
+        spec.sigma * (options_.sigma_load_floor +
+                      (1.0 - options_.sigma_load_floor) * load_norm);
+    x += spec.theta * (target - x) + rng.normal(0.0, sigma_t);
+    x = std::clamp(x, spec.lo, spec.hi);
+    double observed = x;
+    if (spec.spike_rate > 0.0 && rng.bernoulli(spec.spike_rate)) {
+      observed = std::clamp(x + spec.spike_scale * rng.exponential(1.0),
+                            spec.lo, spec.hi);
+    }
+    out[static_cast<std::size_t>(t)] = observed;
+  }
+  return out;
+}
+
+std::vector<TimeSeries> SysMetricsGenerator::generate_node(
+    std::size_t node) const {
+  std::vector<TimeSeries> out;
+  out.reserve(metric_count());
+  for (std::size_t m = 0; m < metric_count(); ++m) {
+    out.push_back(generate_metric(node, m));
+  }
+  return out;
+}
+
+}  // namespace volley

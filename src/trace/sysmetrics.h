@@ -1,0 +1,80 @@
+// Synthetic system-performance substrate — the stand-in for the production
+// 66-metric dataset [19] the paper replays into its VMs (Section V-A).
+//
+// The catalog enumerates exactly 66 metrics grouped into the families the
+// paper lists (available CPU, free memory, vmstat, disk usage, network
+// usage, ...). Each metric evolves as a mean-reverting OU process inside its
+// natural range, optionally coupled to the datacenter's diurnal load curve,
+// with occasional regime shifts (a deploy, a noisy neighbour) that move the
+// process mean for a while. Relative to their usable range these series are
+// *noisier* than the netflow rho series — which is exactly why Figure 5(b)
+// shows smaller savings for system-level monitoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "trace/generators.h"
+#include "trace/trace.h"
+
+namespace volley {
+
+struct MetricSpec {
+  std::string name;      // e.g. "cpu.user", "disk2.usage"
+  double lo{0.0};        // natural range
+  double hi{100.0};
+  double mean{50.0};     // long-run mean inside the range
+  double theta{0.1};     // mean-reversion speed
+  double sigma{2.0};     // per-tick noise
+  double diurnal_gain{0.0};  // how much the diurnal load moves the mean
+  // Transient single-tick spikes (major faults, swap storms, error bursts):
+  // with probability spike_rate per tick the value is lifted by an
+  // Exp(1)-distributed multiple of spike_scale. Zero for smooth metrics.
+  double spike_rate{0.0};
+  double spike_scale{0.0};
+};
+
+struct SysMetricsOptions {
+  std::size_t nodes{10};
+  Tick ticks{17280};          // 1 day at 5 s
+  Tick ticks_per_day{17280};
+  double diurnal_depth{0.5};
+  Tick diurnal_phase{8640};
+  double regime_shift_rate{1.0 / 4000.0};  // shifts per tick per metric
+  Tick regime_shift_hold{600};             // ticks a shifted mean persists
+  // Noise heteroscedasticity: per-tick sigma scales with the diurnal load,
+  // sigma_t = sigma * (floor + (1-floor) * load_norm). Production metrics
+  // are much calmer off-peak than at peak; this is the property that gives
+  // Figure 5(b) its (moderate) savings.
+  double sigma_load_floor{0.2};
+  std::uint64_t seed{7};
+
+  void validate() const;
+};
+
+class SysMetricsGenerator {
+ public:
+  explicit SysMetricsGenerator(const SysMetricsOptions& options);
+
+  /// The fixed 66-metric catalog (index is the metric id).
+  static const std::vector<MetricSpec>& catalog();
+
+  std::size_t metric_count() const { return catalog().size(); }
+
+  /// One metric's series on one node. Deterministic in (seed, node, metric).
+  TimeSeries generate_metric(std::size_t node, std::size_t metric) const;
+
+  /// All 66 series of a node.
+  std::vector<TimeSeries> generate_node(std::size_t node) const;
+
+  const SysMetricsOptions& options() const { return options_; }
+
+ private:
+  SysMetricsOptions options_;
+  DiurnalCurve diurnal_;
+};
+
+}  // namespace volley

@@ -1,0 +1,47 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/quantile.h"
+
+namespace volley {
+
+TimeSeries TimeSeries::sum(std::span<const TimeSeries> series) {
+  if (series.empty()) throw std::invalid_argument("TimeSeries::sum: empty");
+  const std::size_t n = series.front().size();
+  for (const auto& s : series) {
+    if (s.size() != n)
+      throw std::invalid_argument("TimeSeries::sum: length mismatch");
+  }
+  TimeSeries out(n, 0.0);
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < n; ++i) out[i] += s[i];
+  }
+  return out;
+}
+
+double TimeSeries::threshold_for_selectivity(double k_percent) const {
+  if (k_percent < 0.0 || k_percent > 100.0)
+    throw std::invalid_argument("threshold_for_selectivity: k in [0,100]");
+  return exact_quantile(values_, (100.0 - k_percent) / 100.0);
+}
+
+double TimeSeries::min() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::min: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::max() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::max: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::mean: empty");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace volley

@@ -1,0 +1,201 @@
+// Unit tests for core::Coordinator: local-violation -> global-poll protocol,
+// aggregate threshold checks, the no-communication-when-quiet property of
+// the local-threshold decomposition, updating-period reallocation, and the
+// split_threshold helper.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/coordinator.h"
+#include "core/metric_source.h"
+#include "core/task.h"
+
+namespace volley {
+namespace {
+
+TaskSpec small_task(double threshold, double err = 0.05) {
+  TaskSpec spec;
+  spec.global_threshold = threshold;
+  spec.error_allowance = err;
+  spec.max_interval = 8;
+  spec.patience = 2;
+  spec.updating_period = 50;
+  return spec;
+}
+
+std::unique_ptr<Monitor> make_monitor(MonitorId id, const MetricSource& src,
+                                      const TaskSpec& spec,
+                                      double local_threshold) {
+  return std::make_unique<Monitor>(
+      id, src, spec.sampler_options(spec.error_allowance), local_threshold);
+}
+
+TEST(SplitThreshold, EvenAndWeighted) {
+  const auto even = split_threshold(90.0, 3);
+  for (double t : even) EXPECT_DOUBLE_EQ(t, 30.0);
+  const auto weighted = split_threshold(100.0, 2, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(weighted[0], 25.0);
+  EXPECT_DOUBLE_EQ(weighted[1], 75.0);
+}
+
+TEST(SplitThreshold, Validation) {
+  EXPECT_THROW(split_threshold(10.0, 0), std::invalid_argument);
+  EXPECT_THROW(split_threshold(10.0, 2, {1.0}), std::invalid_argument);
+  EXPECT_THROW(split_threshold(10.0, 2, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Coordinator, RequiresMonitors) {
+  TaskSpec spec = small_task(10.0);
+  EXPECT_THROW(Coordinator(spec, {}, nullptr), std::invalid_argument);
+}
+
+TEST(Coordinator, InitialAllocationIsEven) {
+  TaskSpec spec = small_task(10.0, 0.04);
+  CallableSource src([](Tick) { return 0.0; }, 1000);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, src, spec, 5.0));
+  monitors.push_back(make_monitor(1, src, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  EXPECT_DOUBLE_EQ(coordinator.allocation()[0], 0.02);
+  EXPECT_DOUBLE_EQ(coordinator.allocation()[1], 0.02);
+  EXPECT_DOUBLE_EQ(coordinator.monitor(0).error_allowance(), 0.02);
+}
+
+TEST(Coordinator, QuietMonitorsNeverPoll) {
+  // As long as every v_i <= T_i no global poll happens (Section II-A).
+  TaskSpec spec = small_task(10.0);
+  CallableSource src([](Tick t) { return 0.1 * (t % 3); }, 500);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, src, spec, 5.0));
+  monitors.push_back(make_monitor(1, src, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  for (Tick t = 0; t < 500; ++t) {
+    const auto result = coordinator.run_tick(t);
+    EXPECT_FALSE(result.global_poll);
+  }
+  EXPECT_EQ(coordinator.global_polls(), 0);
+}
+
+TEST(Coordinator, LocalViolationTriggersGlobalPoll) {
+  TaskSpec spec = small_task(10.0);
+  // Monitor 0 spikes above its local threshold at t == 7, but monitor 1 is
+  // low: a poll fires, the aggregate stays under T -> no global violation.
+  CallableSource spiky([](Tick t) { return t == 7 ? 6.0 : 0.0; }, 100);
+  CallableSource quiet([](Tick) { return 1.0; }, 100);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, spiky, spec, 5.0));
+  monitors.push_back(make_monitor(1, quiet, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  bool saw_poll = false;
+  for (Tick t = 0; t < 20; ++t) {
+    const auto result = coordinator.run_tick(t);
+    if (t == 7) {
+      EXPECT_TRUE(result.global_poll);
+      EXPECT_FALSE(result.global_violation);
+      EXPECT_DOUBLE_EQ(result.global_value, 7.0);
+      saw_poll = true;
+    }
+  }
+  EXPECT_TRUE(saw_poll);
+  EXPECT_EQ(coordinator.global_polls(), 1);
+  EXPECT_EQ(coordinator.global_violations(), 0);
+}
+
+TEST(Coordinator, GlobalViolationDetected) {
+  TaskSpec spec = small_task(10.0);
+  CallableSource high([](Tick t) { return t == 3 ? 8.0 : 0.0; }, 100);
+  CallableSource medium([](Tick t) { return t == 3 ? 4.0 : 0.0; }, 100);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, high, spec, 5.0));
+  monitors.push_back(make_monitor(1, medium, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  bool detected = false;
+  for (Tick t = 0; t < 10; ++t) {
+    if (coordinator.run_tick(t).global_violation) detected = true;
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_EQ(coordinator.global_violations(), 1);
+}
+
+TEST(Coordinator, PollChargesForcedOpsOnlyToIdleMonitors) {
+  TaskSpec spec = small_task(10.0);
+  CallableSource spiky([](Tick t) { return t == 0 ? 6.0 : 0.0; }, 100);
+  CallableSource quiet([](Tick) { return 0.0; }, 100);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, spiky, spec, 5.0));
+  monitors.push_back(make_monitor(1, quiet, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  coordinator.run_tick(0);
+  // Both monitors sampled at t=0 on schedule, so the poll was served from
+  // cache everywhere: zero forced ops.
+  EXPECT_EQ(coordinator.monitor(0).forced_ops(), 0);
+  EXPECT_EQ(coordinator.monitor(1).forced_ops(), 0);
+}
+
+TEST(Coordinator, PollForcesSamplesOnNotDueMonitors) {
+  TaskSpec spec = small_task(10.0);
+  spec.patience = 1;
+  // Monitor 0's series is high-variance (sigma ~ its threshold margin), so
+  // beta stays above err and it never leaves the default interval; monitor 1
+  // grows on its quiet series. When monitor 0 violates during [60, 70], the
+  // polls must force-sample monitor 1 between its scheduled samples.
+  CallableSource spiky(
+      [](Tick t) {
+        if (t >= 60 && t <= 70) return 6.0;
+        return t % 2 == 0 ? 0.0 : 4.9;
+      },
+      200);
+  CallableSource quiet([](Tick t) { return 0.001 * (t % 2); }, 200);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, spiky, spec, 5.0));
+  monitors.push_back(make_monitor(1, quiet, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  for (Tick t = 0; t <= 70; ++t) coordinator.run_tick(t);
+  EXPECT_GE(coordinator.global_polls(), 5);
+  EXPECT_GE(coordinator.monitor(1).forced_ops(), 5);
+}
+
+TEST(Coordinator, ReallocatesOncePerUpdatingPeriod) {
+  TaskSpec spec = small_task(10.0);
+  spec.updating_period = 25;
+  CallableSource src([](Tick t) { return 0.001 * (t % 2); }, 200);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, src, spec, 5.0));
+  monitors.push_back(make_monitor(1, src, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors),
+                          std::make_unique<AdaptiveAllocation>());
+  for (Tick t = 0; t < 110; ++t) coordinator.run_tick(t);
+  // Periods end at t = 25, 50, 75, 100.
+  EXPECT_EQ(coordinator.reallocations(), 4);
+  // Allocation still sums to err.
+  double sum = 0.0;
+  for (double a : coordinator.allocation()) sum += a;
+  EXPECT_NEAR(sum, spec.error_allowance, 1e-9);
+}
+
+TEST(Coordinator, NoAllocatorMeansNoReallocations) {
+  TaskSpec spec = small_task(10.0);
+  spec.updating_period = 10;
+  CallableSource src([](Tick) { return 0.0; }, 100);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, src, spec, 10.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  for (Tick t = 0; t < 100; ++t) coordinator.run_tick(t);
+  EXPECT_EQ(coordinator.reallocations(), 0);
+}
+
+TEST(Coordinator, TotalOpsAggregatesMonitors) {
+  TaskSpec spec = small_task(10.0);
+  CallableSource src([](Tick) { return 0.0; }, 50);
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  monitors.push_back(make_monitor(0, src, spec, 5.0));
+  monitors.push_back(make_monitor(1, src, spec, 5.0));
+  Coordinator coordinator(spec, std::move(monitors), nullptr);
+  for (Tick t = 0; t < 50; ++t) coordinator.run_tick(t);
+  EXPECT_EQ(coordinator.total_ops(), coordinator.monitor(0).total_ops() +
+                                         coordinator.monitor(1).total_ops());
+  EXPECT_GT(coordinator.total_ops(), 0);
+}
+
+}  // namespace
+}  // namespace volley

@@ -1,0 +1,218 @@
+// Unit tests for the multi-task state-correlation scheduler (Section II-B
+// reconstruction): plan detection from correlated histories, leader/follower
+// admission rules, gating and cooldown semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/correlation.h"
+
+namespace volley {
+namespace {
+
+CorrelationScheduler::Options fast_options() {
+  CorrelationScheduler::Options o;
+  o.history_window = 256;
+  o.max_lag = 8;
+  o.min_correlation = 0.8;
+  o.trigger_ratio = 0.7;
+  o.plan_period = 64;
+  o.cooldown = 16;
+  o.min_history = 32;
+  return o;
+}
+
+TEST(CorrelationScheduler, OptionsValidated) {
+  auto o = fast_options();
+  o.min_history = o.history_window + 1;
+  EXPECT_THROW(CorrelationScheduler{o}, std::invalid_argument);
+  o = fast_options();
+  o.min_correlation = 0.0;
+  EXPECT_THROW(CorrelationScheduler{o}, std::invalid_argument);
+  o = fast_options();
+  o.trigger_ratio = 0.0;
+  EXPECT_THROW(CorrelationScheduler{o}, std::invalid_argument);
+}
+
+TEST(CorrelationScheduler, RejectsNonPositiveCost) {
+  CorrelationScheduler sched(fast_options());
+  EXPECT_THROW(sched.add_task(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(CorrelationScheduler, NoPlanWithoutHistory) {
+  CorrelationScheduler sched(fast_options());
+  sched.add_task(10.0, 1.0);
+  sched.add_task(10.0, 5.0);
+  sched.rebuild_plan();
+  EXPECT_TRUE(sched.plan().empty());
+  EXPECT_FALSE(sched.suppressed(0));
+  EXPECT_FALSE(sched.suppressed(1));
+}
+
+TEST(CorrelationScheduler, DetectsCorrelatedPairCheapLeadsExpensive) {
+  CorrelationScheduler sched(fast_options());
+  const auto cheap = sched.add_task(10.0, 1.0);
+  const auto expensive = sched.add_task(10.0, 20.0);
+  Rng rng(3);
+  double x = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    x = 2.0 + std::sin(t * 0.1) + rng.normal(0.0, 0.05);
+    sched.observe(cheap, x);
+    sched.observe(expensive, 2.0 * x);  // perfectly coupled
+    sched.end_tick();
+  }
+  sched.rebuild_plan();
+  ASSERT_EQ(sched.plan().size(), 1u);
+  EXPECT_EQ(sched.plan()[0].leader, cheap);
+  EXPECT_EQ(sched.plan()[0].follower, expensive);
+  EXPECT_GT(sched.plan()[0].corr, 0.9);
+}
+
+TEST(CorrelationScheduler, NeverGatesTheCheaperTask) {
+  CorrelationScheduler sched(fast_options());
+  const auto expensive = sched.add_task(10.0, 20.0);
+  const auto cheap = sched.add_task(10.0, 1.0);
+  Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const double x = std::sin(t * 0.05) + rng.normal(0.0, 0.02);
+    sched.observe(expensive, x);
+    sched.observe(cheap, x);
+    sched.end_tick();
+  }
+  sched.rebuild_plan();
+  for (const auto& edge : sched.plan()) {
+    EXPECT_EQ(edge.follower, expensive);
+    EXPECT_EQ(edge.leader, cheap);
+  }
+}
+
+TEST(CorrelationScheduler, UncorrelatedTasksBuildNoPlan) {
+  CorrelationScheduler sched(fast_options());
+  sched.add_task(10.0, 1.0);
+  sched.add_task(10.0, 20.0);
+  Rng rng(7);
+  for (int t = 0; t < 300; ++t) {
+    sched.observe(0, rng.normal(0.0, 1.0));
+    sched.observe(1, rng.normal(0.0, 1.0));
+    sched.end_tick();
+  }
+  sched.rebuild_plan();
+  EXPECT_TRUE(sched.plan().empty());
+}
+
+TEST(CorrelationScheduler, FollowerSuppressedWhileLeaderCold) {
+  CorrelationScheduler sched(fast_options());
+  const auto leader = sched.add_task(10.0, 1.0);
+  const auto follower = sched.add_task(10.0, 20.0);
+  Rng rng(9);
+  for (int t = 0; t < 100; ++t) {
+    const double x = 1.0 + std::sin(t * 0.2) * 0.5 + rng.normal(0.0, 0.02);
+    sched.observe(leader, x);
+    sched.observe(follower, x);
+    sched.end_tick();
+  }
+  ASSERT_FALSE(sched.plan().empty());
+  // Leader value ~1, trigger at 0.7*10 = 7: cold -> suppressed.
+  EXPECT_TRUE(sched.suppressed(follower));
+  EXPECT_FALSE(sched.suppressed(leader));
+}
+
+TEST(CorrelationScheduler, LeaderHeatWakesFollowerWithCooldown) {
+  auto options = fast_options();
+  options.cooldown = 10;
+  CorrelationScheduler sched(options);
+  const auto leader = sched.add_task(10.0, 1.0);
+  const auto follower = sched.add_task(10.0, 20.0);
+  Rng rng(11);
+  for (int t = 0; t < 100; ++t) {
+    const double x = 1.0 + std::sin(t * 0.2) * 0.5 + rng.normal(0.0, 0.02);
+    sched.observe(leader, x);
+    sched.observe(follower, x);
+    sched.end_tick();
+  }
+  ASSERT_TRUE(sched.suppressed(follower));
+  // Leader crosses the trigger (0.7 * 10 = 7).
+  sched.observe(leader, 8.0);
+  sched.observe(follower, 1.0);
+  sched.end_tick();
+  EXPECT_FALSE(sched.suppressed(follower));
+  // Stays awake through the cooldown even if the leader cools.
+  for (int t = 0; t < 9; ++t) {
+    sched.observe(leader, 1.0);
+    sched.observe(follower, 1.0);
+    sched.end_tick();
+    EXPECT_FALSE(sched.suppressed(follower)) << "tick " << t;
+  }
+  // Cooldown expired.
+  sched.observe(leader, 1.0);
+  sched.observe(follower, 1.0);
+  sched.end_tick();
+  EXPECT_TRUE(sched.suppressed(follower));
+}
+
+TEST(CorrelationScheduler, SelfHeatWakesFollower) {
+  CorrelationScheduler sched(fast_options());
+  const auto leader = sched.add_task(10.0, 1.0);
+  const auto follower = sched.add_task(10.0, 20.0);
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    const double x = 1.0 + std::sin(t * 0.2) * 0.5 + rng.normal(0.0, 0.02);
+    sched.observe(leader, x);
+    sched.observe(follower, x);
+    sched.end_tick();
+  }
+  ASSERT_TRUE(sched.suppressed(follower));
+  // The follower's own (rest-interval) sample runs hot: self-guard fires.
+  sched.observe(leader, 1.0);
+  sched.observe(follower, 9.0);
+  sched.end_tick();
+  EXPECT_FALSE(sched.suppressed(follower));
+}
+
+TEST(CorrelationScheduler, GateOfReportsEdge) {
+  CorrelationScheduler sched(fast_options());
+  const auto leader = sched.add_task(10.0, 1.0);
+  const auto follower = sched.add_task(10.0, 20.0);
+  Rng rng(15);
+  for (int t = 0; t < 100; ++t) {
+    const double x = std::sin(t * 0.1) + rng.normal(0.0, 0.01);
+    sched.observe(leader, x);
+    sched.observe(follower, x);
+    sched.end_tick();
+  }
+  const auto gate = sched.gate_of(follower);
+  ASSERT_TRUE(gate.has_value());
+  EXPECT_EQ(gate->leader, leader);
+  EXPECT_FALSE(sched.gate_of(leader).has_value());
+}
+
+TEST(CorrelationScheduler, NoTwoCyclesAndOneGatePerFollower) {
+  // Three mutually correlated tasks with costs 1 < 5 < 25: the plan must be
+  // acyclic, each follower gated once, and no gated task leading.
+  CorrelationScheduler sched(fast_options());
+  sched.add_task(10.0, 1.0);
+  sched.add_task(10.0, 5.0);
+  sched.add_task(10.0, 25.0);
+  Rng rng(17);
+  for (int t = 0; t < 200; ++t) {
+    const double x = std::sin(t * 0.07) + rng.normal(0.0, 0.01);
+    for (std::size_t i = 0; i < 3; ++i) sched.observe(i, x);
+    sched.end_tick();
+  }
+  sched.rebuild_plan();
+  std::vector<int> follows(3, 0), leads(3, 0);
+  for (const auto& e : sched.plan()) {
+    ++follows[e.follower];
+    ++leads[e.leader];
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(follows[i], 1);
+    EXPECT_FALSE(follows[i] > 0 && leads[i] > 0)
+        << "task " << i << " both leads and follows";
+  }
+  EXPECT_FALSE(sched.plan().empty());
+}
+
+}  // namespace
+}  // namespace volley

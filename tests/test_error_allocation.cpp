@@ -1,0 +1,177 @@
+// Unit tests for the task-level error-allowance allocation (Section IV-B):
+// even split, yield-proportional adaptive split, minimum-assignment floor,
+// uniformity throttle and the clamp-and-normalize helper.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error_allocation.h"
+
+namespace volley {
+namespace {
+
+CoordStats stats(double gain, double allowance) {
+  CoordStats s;
+  s.avg_gain = gain;
+  s.avg_allowance = allowance;
+  s.observations = 10;
+  return s;
+}
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(EvenAllocation, SplitsUniformly) {
+  EvenAllocation even;
+  const std::vector<double> current{0.01, 0.02, 0.03};
+  const std::vector<CoordStats> s{stats(1, 1), stats(2, 1), stats(3, 1)};
+  const auto out = even.allocate(0.06, current, s);
+  ASSERT_EQ(out.size(), 3u);
+  for (double e : out) EXPECT_NEAR(e, 0.02, 1e-12);
+}
+
+TEST(EvenAllocation, RejectsEmpty) {
+  EvenAllocation even;
+  EXPECT_THROW(even.allocate(0.1, {}, {}), std::invalid_argument);
+}
+
+TEST(AdaptiveAllocation, FavorsHighYieldMonitors) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.005, 0.005};
+  // Monitor 0: high gain, low required allowance -> high yield.
+  const std::vector<CoordStats> s{stats(0.5, 0.001), stats(0.1, 0.01)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GT(out[0], out[1]);
+  EXPECT_NEAR(sum(out), 0.01, 1e-9);
+}
+
+TEST(AdaptiveAllocation, ConvergesToProportionalFixedPoint) {
+  AdaptiveAllocation adaptive;
+  // Yields 100 and 50: the damped iteration must converge to a 2:1 split
+  // (the fixed point of the paper's proportional rule; floor not binding).
+  const std::vector<CoordStats> s{stats(0.1, 0.001), stats(0.05, 0.001)};
+  std::vector<double> alloc{0.01, 0.01};
+  for (int i = 0; i < 100; ++i) alloc = adaptive.allocate(0.02, alloc, s);
+  EXPECT_NEAR(alloc[0] / alloc[1], 2.0, 1e-3);
+}
+
+TEST(AdaptiveAllocation, SingleStepIsDamped) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.01, 0.01};
+  const std::vector<CoordStats> s{stats(0.1, 0.001), stats(0.05, 0.001)};
+  const auto out = adaptive.allocate(0.02, current, s);
+  // Moves toward the 2:1 target but not all the way (default smoothing).
+  EXPECT_GT(out[0], 0.01);
+  EXPECT_LT(out[0], 0.02 * 2.0 / 3.0);
+}
+
+TEST(AdaptiveAllocation, RespectsMinimumFloor) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.005, 0.005};
+  // Monitor 1 has essentially zero yield; it must still keep err/100.
+  const std::vector<CoordStats> s{stats(0.5, 0.001), stats(0.0, 0.01)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_GE(out[1], 0.01 * 0.01 - 1e-12);
+  EXPECT_NEAR(sum(out), 0.01, 1e-9);
+}
+
+TEST(AdaptiveAllocation, UniformYieldsKeepCurrentAllocation) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.007, 0.003};
+  // Yields within 10% of each other -> throttle: no churn.
+  const std::vector<CoordStats> s{stats(0.10, 0.001), stats(0.104, 0.001)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_DOUBLE_EQ(out[0], 0.007);
+  EXPECT_DOUBLE_EQ(out[1], 0.003);
+}
+
+TEST(AdaptiveAllocation, NoGrowableMonitorKeepsAllocation) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.004, 0.006};
+  // Both pinned at Im: gain 0 -> nothing to optimize.
+  const std::vector<CoordStats> s{stats(0.0, 0.01), stats(0.0, 0.02)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_DOUBLE_EQ(out[0], 0.004);
+  EXPECT_DOUBLE_EQ(out[1], 0.006);
+}
+
+TEST(AdaptiveAllocation, SingleMonitorGetsEverything) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.01};
+  const std::vector<CoordStats> s{stats(0.5, 0.001)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 0.01);
+}
+
+TEST(AdaptiveAllocation, ZeroAllowanceNeededIsHandled) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.005, 0.005};
+  // e_i == 0 (beta == 0): the epsilon floor avoids division by zero and the
+  // monitor gets a huge but finite yield.
+  const std::vector<CoordStats> s{stats(0.5, 0.0), stats(0.1, 0.01)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_GT(out[0], out[1]);
+  EXPECT_NEAR(sum(out), 0.01, 1e-9);
+}
+
+TEST(AdaptiveAllocation, SizeMismatchThrows) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.01};
+  const std::vector<CoordStats> s{stats(1, 1), stats(1, 1)};
+  EXPECT_THROW(adaptive.allocate(0.01, current, s), std::invalid_argument);
+}
+
+TEST(AdaptiveAllocation, OptionsValidated) {
+  AdaptiveAllocation::Options bad;
+  bad.min_fraction = -0.1;
+  EXPECT_THROW(AdaptiveAllocation{bad}, std::invalid_argument);
+  bad = AdaptiveAllocation::Options{};
+  bad.min_fraction = 0.6;  // two monitors could not both get 0.6*err
+  EXPECT_THROW(AdaptiveAllocation{bad}, std::invalid_argument);
+}
+
+TEST(ClampAndNormalize, RaisesFloorsAndKeepsTotal) {
+  auto out = clamp_and_normalize({0.9, 0.1, 0.0}, 1.0, 0.05);
+  EXPECT_NEAR(sum(out), 1.0, 1e-9);
+  for (double v : out) EXPECT_GE(v, 0.05 - 1e-9);
+  // Ordering preserved.
+  EXPECT_GT(out[0], out[1]);
+  EXPECT_GE(out[1], out[2]);
+}
+
+TEST(ClampAndNormalize, InfeasibleFloorThrows) {
+  EXPECT_THROW(clamp_and_normalize({0.5, 0.5}, 1.0, 0.6),
+               std::invalid_argument);
+}
+
+TEST(ClampAndNormalize, AllZeroFallsBackToEven) {
+  const auto out = clamp_and_normalize({0.0, 0.0, 0.0, 0.0}, 1.0, 0.0);
+  for (double v : out) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(ClampAndNormalize, NoopWhenAlreadyFeasible) {
+  const auto out = clamp_and_normalize({0.6, 0.4}, 1.0, 0.1);
+  EXPECT_NEAR(out[0], 0.6, 1e-9);
+  EXPECT_NEAR(out[1], 0.4, 1e-9);
+}
+
+// The paper's worked example (Section IV-B): moving allowance toward the
+// monitor that can absorb frequent violations increases total cost
+// reduction — the allocator must push allowance toward higher yield until
+// the marginal yields equalize. We verify the direction of the first step.
+TEST(AdaptiveAllocation, PaperExampleDirection) {
+  AdaptiveAllocation adaptive;
+  // Monitor 1 at I=4 (gain 1/4-1/5=0.05) needs little allowance; monitor 2
+  // at I=1 (gain 1/1-1/2=0.5) needs more but yields more per unit.
+  const std::vector<double> current{0.005, 0.005};
+  const std::vector<CoordStats> s{stats(0.05, 0.004), stats(0.5, 0.008)};
+  // Yields: 12.5 vs 62.5 -> monitor 2 receives the larger share.
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_GT(out[1], out[0]);
+}
+
+}  // namespace
+}  // namespace volley

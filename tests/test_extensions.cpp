@@ -1,0 +1,224 @@
+// Tests for the extension modules: aggregation-time-window tasks (the
+// paper's stated future work), random-sampling composition, and the
+// monetary billing model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/window_aggregate.h"
+#include "sim/billing.h"
+#include "sim/runner.h"
+#include "stats/online_stats.h"
+#include "trace/sampling.h"
+
+namespace volley {
+namespace {
+
+TEST(WindowAggregator, RejectsBadWindow) {
+  EXPECT_THROW(WindowAggregator(0, WindowAggregate::kAverage),
+               std::invalid_argument);
+}
+
+TEST(WindowAggregator, EmptyThrows) {
+  WindowAggregator agg(3, WindowAggregate::kSum);
+  EXPECT_THROW(agg.value(), std::logic_error);
+}
+
+TEST(WindowAggregator, AverageOverPartialAndFullWindow) {
+  WindowAggregator agg(3, WindowAggregate::kAverage);
+  agg.push(3.0);
+  EXPECT_DOUBLE_EQ(agg.value(), 3.0);
+  agg.push(6.0);
+  EXPECT_DOUBLE_EQ(agg.value(), 4.5);
+  agg.push(9.0);
+  EXPECT_DOUBLE_EQ(agg.value(), 6.0);
+  agg.push(0.0);  // 3 drops out
+  EXPECT_DOUBLE_EQ(agg.value(), 5.0);
+}
+
+TEST(WindowAggregator, SumSlides) {
+  WindowAggregator agg(2, WindowAggregate::kSum);
+  agg.push(1.0);
+  agg.push(2.0);
+  agg.push(4.0);
+  EXPECT_DOUBLE_EQ(agg.value(), 6.0);
+}
+
+TEST(WindowAggregator, MaxViaMonotonicDeque) {
+  WindowAggregator agg(3, WindowAggregate::kMax);
+  const double xs[] = {5, 1, 2, 0, 0, 0, 7, 3};
+  const double expect[] = {5, 5, 5, 2, 2, 0, 7, 7};
+  for (int i = 0; i < 8; ++i) {
+    agg.push(xs[i]);
+    EXPECT_DOUBLE_EQ(agg.value(), expect[i]) << "i=" << i;
+  }
+}
+
+TEST(WindowTransform, MatchesBruteForce) {
+  Rng rng(3);
+  TimeSeries in(200);
+  for (std::size_t t = 0; t < in.size(); ++t) in[t] = rng.normal(0, 1);
+  for (auto kind : {WindowAggregate::kAverage, WindowAggregate::kSum,
+                    WindowAggregate::kMax}) {
+    const auto out = window_transform(in, 7, kind);
+    for (std::size_t t = 0; t < in.size(); ++t) {
+      const std::size_t start = t >= 6 ? t - 6 : 0;
+      double sum = 0, mx = in[start];
+      for (std::size_t i = start; i <= t; ++i) {
+        sum += in[i];
+        mx = std::max(mx, in[i]);
+      }
+      double expect = 0;
+      switch (kind) {
+        case WindowAggregate::kSum: expect = sum; break;
+        case WindowAggregate::kAverage:
+          expect = sum / static_cast<double>(t - start + 1);
+          break;
+        case WindowAggregate::kMax: expect = mx; break;
+      }
+      ASSERT_NEAR(out[t], expect, 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(WindowedSource, AgreesWithTransform) {
+  Rng rng(5);
+  TimeSeries in(100);
+  for (std::size_t t = 0; t < in.size(); ++t) in[t] = rng.uniform();
+  SeriesSource raw{TimeSeries(in)};
+  WindowedSource windowed(raw, 5, WindowAggregate::kAverage);
+  const auto transformed = window_transform(in, 5, WindowAggregate::kAverage);
+  for (Tick t = 0; t < 100; t += 7) {
+    EXPECT_NEAR(windowed.value_at(t),
+                transformed[static_cast<std::size_t>(t)], 1e-12);
+  }
+}
+
+TEST(WindowedSource, ScanCostGrowsWithWindow) {
+  SeriesSource raw{TimeSeries(100, 1.0)};
+  WindowedSource windowed(raw, 10, WindowAggregate::kSum, 0.5);
+  EXPECT_DOUBLE_EQ(windowed.sampling_cost(0), 1.0 + 0.5);       // 1 tick
+  EXPECT_DOUBLE_EQ(windowed.sampling_cost(50), 1.0 + 0.5 * 10); // full
+}
+
+TEST(WindowedTask, SmoothingLengthensIntervals) {
+  // The future-work claim, quantified: a W-average of white noise has
+  // delta-sigma ~ sigma/W, so the windowed task sustains longer intervals
+  // at the same error allowance.
+  Rng rng(7);
+  TimeSeries raw(20000);
+  for (std::size_t t = 0; t < raw.size(); ++t) raw[t] = rng.normal(0, 1);
+  const auto windowed = window_transform(raw, 20, WindowAggregate::kAverage);
+
+  TaskSpec spec;
+  spec.error_allowance = 0.01;
+  spec.max_interval = 40;
+  spec.global_threshold = raw.threshold_for_selectivity(0.5);
+  const auto r_raw = run_volley_single(spec, raw);
+  spec.global_threshold = windowed.threshold_for_selectivity(0.5);
+  const auto r_win = run_volley_single(spec, windowed);
+  EXPECT_LT(r_win.sampling_ratio(), r_raw.sampling_ratio());
+}
+
+TEST(Thinning, OptionsValidated) {
+  ThinningOptions o;
+  o.fraction = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = ThinningOptions{};
+  o.fraction = 1.5;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(Thinning, FullFractionKeepsCostAndNearlyExactRho) {
+  VmTraffic vm;
+  vm.rho = TimeSeries(std::vector<double>{0, 10, -5, 300});
+  vm.in_packets = TimeSeries(std::vector<double>{1000, 1000, 1000, 2000});
+  ThinningOptions o;
+  o.fraction = 1.0;
+  Rng rng(9);
+  const auto thin = thin_traffic(vm, o, rng);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(thin.rho[t], vm.rho[t], 1.0);  // rounding only
+    EXPECT_DOUBLE_EQ(thin.in_packets[t], vm.in_packets[t]);
+  }
+}
+
+TEST(Thinning, IsUnbiasedAndNoisy) {
+  VmTraffic vm;
+  vm.rho = TimeSeries(4000, 50.0);
+  vm.in_packets = TimeSeries(4000, 5000.0);
+  ThinningOptions o;
+  o.fraction = 0.1;
+  Rng rng(11);
+  const auto thin = thin_traffic(vm, o, rng);
+  OnlineStats stats;
+  for (std::size_t t = 0; t < thin.rho.size(); ++t) stats.add(thin.rho[t]);
+  EXPECT_NEAR(stats.mean(), 50.0, 3.0);    // unbiased estimate of rho
+  EXPECT_GT(stats.stddev(), 10.0);         // but with real thinning noise
+  EXPECT_DOUBLE_EQ(thin.in_packets[0], 500.0);  // cost scaled by f
+}
+
+TEST(Thinning, SmallerFractionIsNoisier) {
+  VmTraffic vm;
+  vm.rho = TimeSeries(4000, 0.0);
+  vm.in_packets = TimeSeries(4000, 5000.0);
+  Rng rng_a(13), rng_b(13);
+  ThinningOptions heavy;
+  heavy.fraction = 0.5;
+  ThinningOptions light;
+  light.fraction = 0.05;
+  const auto a = thin_traffic(vm, heavy, rng_a);
+  const auto b = thin_traffic(vm, light, rng_b);
+  OnlineStats sa, sb;
+  for (std::size_t t = 0; t < 4000; ++t) {
+    sa.add(a.rho[t]);
+    sb.add(b.rho[t]);
+  }
+  EXPECT_GT(sb.stddev(), 2.0 * sa.stddev());
+}
+
+TEST(Billing, CostAndShare) {
+  BillingModel model;
+  model.dollars_per_1k_samples = 0.5;
+  model.base_operation_cost = 100.0;
+  model.validate();
+  EXPECT_DOUBLE_EQ(model.cost(10000), 5.0);
+  EXPECT_NEAR(model.share_of_total(10000), 5.0 / 105.0, 1e-12);
+}
+
+TEST(Billing, PeriodicSamplesPerMonth) {
+  EXPECT_EQ(BillingModel::periodic_samples_per_month(60.0), 43200);
+  EXPECT_EQ(BillingModel::periodic_samples_per_month(900.0), 2880);
+  EXPECT_THROW(BillingModel::periodic_samples_per_month(0.0),
+               std::invalid_argument);
+}
+
+TEST(Billing, Validation) {
+  BillingModel model;
+  model.dollars_per_1k_samples = -1.0;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+  model = BillingModel{};
+  model.base_operation_cost = 0.0;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+// The paper's 18% motivation: at 1-minute periodic sampling across a fleet
+// of monitors, monitoring fees are a double-digit share of total spend;
+// Volley's measured savings cut the share proportionally.
+TEST(Billing, FleetShareShrinksWithVolleySavings) {
+  BillingModel model;
+  model.dollars_per_1k_samples = 0.01;
+  model.base_operation_cost = 800.0;
+  const std::int64_t monitors = 800;
+  const std::int64_t periodic =
+      monitors * BillingModel::periodic_samples_per_month(60.0);
+  const auto volley_ops =
+      static_cast<std::int64_t>(0.2 * static_cast<double>(periodic));
+  EXPECT_GT(model.share_of_total(periodic), 0.15);
+  EXPECT_LT(model.share_of_total(volley_ops),
+            0.5 * model.share_of_total(periodic));
+}
+
+}  // namespace
+}  // namespace volley

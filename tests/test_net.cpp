@@ -1,0 +1,288 @@
+// Tests for the wire runtime: framing, message codec round-trips, socket
+// primitives, and a full coordinator + monitors session over localhost TCP.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "core/metric_source.h"
+#include "net/coordinator_node.h"
+#include "net/framing.h"
+#include "net/messages.h"
+#include "net/monitor_node.h"
+#include "net/socket.h"
+
+namespace volley {
+namespace {
+
+using net::AllowanceUpdate;
+using net::Bye;
+using net::Hello;
+using net::LocalViolation;
+using net::Message;
+using net::PollRequest;
+using net::PollResponse;
+using net::Shutdown;
+using net::StatsReport;
+
+std::span<const std::byte> as_bytes(const std::vector<std::byte>& v) {
+  return {v.data(), v.size()};
+}
+
+TEST(Framing, RoundTripsSingleFrame) {
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2},
+                                       std::byte{3}};
+  const auto framed = frame_payload(payload);
+  EXPECT_EQ(framed.size(), 7u);
+  FrameReader reader;
+  reader.feed(framed);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Framing, HandlesPartialDelivery) {
+  const std::vector<std::byte> payload(100, std::byte{7});
+  const auto framed = frame_payload(payload);
+  FrameReader reader;
+  // Feed byte by byte: no frame until the last byte arrives.
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    reader.feed(std::span<const std::byte>(&framed[i], 1));
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  reader.feed(std::span<const std::byte>(&framed.back(), 1));
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 100u);
+}
+
+TEST(Framing, HandlesCoalescedFrames) {
+  std::vector<std::byte> stream;
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<std::byte> payload(static_cast<std::size_t>(i + 1),
+                                         std::byte{static_cast<unsigned char>(i)});
+    const auto framed = frame_payload(payload);
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  FrameReader reader;
+  reader.feed(stream);
+  for (int i = 0; i < 3; ++i) {
+    const auto out = reader.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->size(), static_cast<std::size_t>(i + 1));
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Framing, RejectsOversizedFrame) {
+  std::vector<std::byte> evil(4);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(evil.data(), &huge, 4);
+  FrameReader reader;
+  reader.feed(evil);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Framing, EmptyPayloadIsLegal) {
+  const auto framed = frame_payload({});
+  FrameReader reader;
+  reader.feed(framed);
+  const auto out = reader.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+template <typename T>
+T round_trip(const T& in) {
+  const auto bytes = net::encode(Message{in});
+  const auto out = net::decode(as_bytes(bytes));
+  EXPECT_TRUE(out.has_value());
+  return std::get<T>(*out);
+}
+
+TEST(Messages, HelloRoundTrip) {
+  const auto out = round_trip(Hello{42});
+  EXPECT_EQ(out.monitor, 42u);
+}
+
+TEST(Messages, LocalViolationRoundTrip) {
+  const auto out = round_trip(LocalViolation{7, 123456789, -3.25});
+  EXPECT_EQ(out.monitor, 7u);
+  EXPECT_EQ(out.tick, 123456789);
+  EXPECT_DOUBLE_EQ(out.value, -3.25);
+}
+
+TEST(Messages, PollRoundTrips) {
+  const auto req = round_trip(PollRequest{55, 99});
+  EXPECT_EQ(req.tick, 55);
+  EXPECT_EQ(req.poll_id, 99u);
+  const auto resp = round_trip(PollResponse{3, 99, 55, 17.5});
+  EXPECT_EQ(resp.monitor, 3u);
+  EXPECT_DOUBLE_EQ(resp.value, 17.5);
+}
+
+TEST(Messages, StatsAllowanceByeShutdownRoundTrip) {
+  const auto stats = round_trip(StatsReport{1, 0.25, 0.001, 40});
+  EXPECT_DOUBLE_EQ(stats.avg_gain, 0.25);
+  EXPECT_EQ(stats.observations, 40);
+  const auto update = round_trip(AllowanceUpdate{0.007});
+  EXPECT_DOUBLE_EQ(update.error_allowance, 0.007);
+  const auto bye = round_trip(Bye{2, 100, 5});
+  EXPECT_EQ(bye.scheduled_ops, 100);
+  EXPECT_NO_THROW(round_trip(Shutdown{}));
+}
+
+TEST(Messages, DecodeRejectsGarbage) {
+  EXPECT_FALSE(net::decode({}).has_value());
+  const std::vector<std::byte> unknown{std::byte{0xFF}};
+  EXPECT_FALSE(net::decode(as_bytes(unknown)).has_value());
+  // Truncated LocalViolation.
+  auto bytes = net::encode(Message{LocalViolation{1, 2, 3.0}});
+  bytes.pop_back();
+  EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value());
+  // Trailing junk is rejected too.
+  bytes = net::encode(Message{Hello{1}});
+  bytes.push_back(std::byte{0});
+  EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value());
+}
+
+TEST(Socket, LoopbackEcho) {
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    auto conn = listener.accept();
+    ASSERT_TRUE(conn.has_value());
+    std::array<std::byte, 64> buf;
+    const auto n = conn->recv_some(buf);
+    ASSERT_TRUE(n.has_value());
+    conn->send_all(std::span<const std::byte>(buf.data(), *n));
+  });
+  auto client = TcpConnection::connect("127.0.0.1", listener.port());
+  const std::vector<std::byte> msg{std::byte{0xAB}, std::byte{0xCD}};
+  ASSERT_TRUE(client.send_all(msg));
+  std::array<std::byte, 64> buf;
+  const auto n = client.recv_some(buf);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(buf[0], std::byte{0xAB});
+  server.join();
+}
+
+TEST(Socket, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }  // listener closed
+  EXPECT_THROW(TcpConnection::connect("127.0.0.1", dead_port),
+               std::system_error);
+}
+
+TEST(Socket, NonblockingRecvReturnsNulloptWhenIdle) {
+  TcpListener listener(0);
+  auto client = TcpConnection::connect("127.0.0.1", listener.port());
+  auto served = listener.accept();
+  ASSERT_TRUE(served.has_value());
+  client.set_nonblocking(true);
+  std::array<std::byte, 8> buf;
+  EXPECT_FALSE(client.recv_some(buf).has_value());
+}
+
+// End-to-end distributed session: one coordinator, three monitors over
+// localhost TCP. Monitor 0 carries a sustained violation window; the other
+// two stay quiet. The coordinator must see global polls and, because the
+// aggregate crosses T, record at least one alert.
+TEST(NetIntegration, CoordinatorAndMonitorsDetectViolation) {
+  constexpr Tick kTicks = 400;
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 3;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.03;
+  net::CoordinatorNode coordinator(copt);
+
+  std::vector<std::unique_ptr<CallableSource>> sources;
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick t) { return (t >= 200 && t < 260) ? 20.0 : 0.5; }, kTicks));
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick) { return 0.5; }, kTicks));
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick) { return 0.5; }, kTicks));
+
+  std::vector<std::unique_ptr<net::MonitorNode>> nodes;
+  for (MonitorId id = 0; id < 3; ++id) {
+    net::MonitorNodeOptions mopt;
+    mopt.id = id;
+    mopt.coordinator_port = coordinator.port();
+    mopt.local_threshold = 10.0 / 3.0;
+    mopt.sampler.error_allowance = 0.01;
+    mopt.sampler.patience = 3;
+    mopt.sampler.max_interval = 8;
+    mopt.ticks = kTicks;
+    mopt.updating_period = 100;
+    mopt.tick_micros = 300;
+    nodes.push_back(
+        std::make_unique<net::MonitorNode>(mopt, *sources[id]));
+  }
+
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  std::vector<std::thread> monitor_threads;
+  monitor_threads.reserve(nodes.size());
+  for (auto& node : nodes) {
+    monitor_threads.emplace_back([&node] { node->run(); });
+  }
+  for (auto& t : monitor_threads) t.join();
+  coord_thread.join();
+
+  EXPECT_GT(coordinator.global_polls(), 0);
+  ASSERT_FALSE(coordinator.alerts().empty());
+  for (const auto& alert : coordinator.alerts()) {
+    EXPECT_GT(alert.value, 10.0);
+  }
+  // Every monitor reported its op totals on Bye.
+  EXPECT_EQ(coordinator.reported_ops().size(), 3u);
+  // Monitors saved ops versus periodic sampling on the quiet stretches.
+  for (const auto& [id, ops] : coordinator.reported_ops()) {
+    EXPECT_GT(ops, 0);
+    EXPECT_LT(ops, kTicks);
+  }
+}
+
+// The allowance reallocation path: monitors with different volatility run a
+// session with StatsReports; the coordinator must issue AllowanceUpdates
+// (observable as reallocations > 0) without breaking the session.
+TEST(NetIntegration, AllowanceReallocationHappens) {
+  constexpr Tick kTicks = 500;
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 2;
+  copt.global_threshold = 100.0;
+  copt.error_allowance = 0.04;
+  copt.adaptive_allocation = true;
+  net::CoordinatorNode coordinator(copt);
+
+  CallableSource quiet([](Tick) { return 0.1; }, kTicks);
+  CallableSource wiggly(
+      [](Tick t) { return 5.0 + 4.0 * ((t % 7) / 6.0); }, kTicks);
+
+  net::MonitorNodeOptions m0;
+  m0.id = 0;
+  m0.coordinator_port = coordinator.port();
+  m0.local_threshold = 50.0;
+  m0.ticks = kTicks;
+  m0.updating_period = 120;
+  m0.tick_micros = 200;
+  net::MonitorNodeOptions m1 = m0;
+  m1.id = 1;
+  net::MonitorNode node0(m0, quiet), node1(m1, wiggly);
+
+  std::thread ct([&coordinator] { coordinator.run(); });
+  std::thread t0([&node0] { node0.run(); });
+  std::thread t1([&node1] { node1.run(); });
+  t0.join();
+  t1.join();
+  ct.join();
+
+  EXPECT_GT(coordinator.reallocations(), 0);
+}
+
+}  // namespace
+}  // namespace volley

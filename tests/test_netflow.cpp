@@ -1,0 +1,250 @@
+// Unit tests for the netflow-like traffic substrate and the DDoS injector:
+// determinism, rho statistics (near-zero mean, volume-scaled variance,
+// diurnal stability at night), Zipf popularity of VMs, attack shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/online_stats.h"
+#include "trace/ddos.h"
+#include "trace/netflow.h"
+
+namespace volley {
+namespace {
+
+NetflowOptions small_options() {
+  NetflowOptions o;
+  o.vms = 8;
+  o.ticks = 1440;
+  o.ticks_per_day = 1440;
+  o.diurnal_phase = 720;
+  o.mean_flows_per_tick = 40.0;
+  o.seed = 101;
+  return o;
+}
+
+TEST(NetflowOptions, Validation) {
+  auto o = small_options();
+  o.vms = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = small_options();
+  o.reply_ratio = 1.5;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = small_options();
+  o.syn_prob = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(Netflow, GeneratesAllVmsAndTicks) {
+  NetflowGenerator gen(small_options());
+  const auto traffic = gen.generate();
+  ASSERT_EQ(traffic.size(), 8u);
+  for (const auto& vm : traffic) {
+    EXPECT_EQ(vm.rho.ticks(), 1440);
+    EXPECT_EQ(vm.in_packets.ticks(), 1440);
+  }
+}
+
+TEST(Netflow, IsDeterministicPerSeed) {
+  NetflowGenerator a(small_options()), b(small_options());
+  const auto ta = a.generate();
+  const auto tb = b.generate();
+  for (std::size_t v = 0; v < ta.size(); ++v) {
+    for (std::size_t t = 0; t < ta[v].rho.size(); t += 97) {
+      EXPECT_DOUBLE_EQ(ta[v].rho[t], tb[v].rho[t]);
+    }
+  }
+  auto other = small_options();
+  other.seed = 999;
+  const auto tc = NetflowGenerator(other).generate();
+  int diffs = 0;
+  for (std::size_t t = 0; t < ta[0].rho.size(); ++t) {
+    if (ta[0].rho[t] != tc[0].rho[t]) ++diffs;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(Netflow, RhoMeanNearZeroRelativeToVolume) {
+  // Benign rho = Binom(in,p) - Binom(out,p) with out ~ 0.97*in: the mean is
+  // a small positive fraction of the SYN volume.
+  NetflowGenerator gen(small_options());
+  const auto traffic = gen.generate();
+  for (const auto& vm : traffic) {
+    OnlineStats rho_stats, pkt_stats;
+    for (std::size_t t = 0; t < vm.rho.size(); ++t) {
+      rho_stats.add(vm.rho[t]);
+      pkt_stats.add(vm.in_packets[t]);
+    }
+    const double syn_volume = 0.1 * pkt_stats.mean();
+    EXPECT_LT(std::abs(rho_stats.mean()), 0.2 * syn_volume + 1.0);
+  }
+}
+
+TEST(Netflow, NightTrafficIsCalmerThanPeak) {
+  // The Figure 5(a)/6 mechanism: low night volume -> low rho variance ->
+  // long intervals. Peak is at diurnal_phase; night is half a day away.
+  auto o = small_options();
+  o.ticks = 2880;  // two days for a fair windowed comparison
+  NetflowGenerator gen(o);
+  const auto traffic = gen.generate();
+  const auto& vm = traffic[0];  // most popular VM: highest volume contrast
+  OnlineStats peak, night;
+  for (Tick t = 0; t < o.ticks; ++t) {
+    const Tick day_pos = t % o.ticks_per_day;
+    const auto i = static_cast<std::size_t>(t);
+    if (std::abs(static_cast<double>(day_pos - o.diurnal_phase)) < 120) {
+      peak.add(vm.rho[i]);
+    } else if (day_pos < 120 || day_pos > o.ticks_per_day - 120) {
+      night.add(vm.rho[i]);
+    }
+  }
+  EXPECT_LT(night.stddev(), peak.stddev());
+}
+
+TEST(Netflow, PopularVmGetsMoreTraffic) {
+  NetflowGenerator gen(small_options());
+  const auto traffic = gen.generate();
+  const double first = traffic[0].in_packets.mean();
+  const double last = traffic[7].in_packets.mean();
+  EXPECT_GT(first, 2.0 * last);  // Zipf skew 1.0 over 8 ranks
+}
+
+TEST(Netflow, FlowRateFollowsZipfAndDiurnal) {
+  auto o = small_options();
+  NetflowGenerator gen(o);
+  // Zipf: rate of VM 0 > VM 7 at the same tick.
+  EXPECT_GT(gen.flow_rate(0, 0), gen.flow_rate(0, 7));
+  // Diurnal: rate at peak > rate at night for the same VM.
+  EXPECT_GT(gen.flow_rate(o.diurnal_phase, 0), gen.flow_rate(0, 0));
+  EXPECT_THROW(gen.flow_rate(0, 99), std::out_of_range);
+}
+
+TEST(Netflow, SynthesizedWindowMatchesRateScale) {
+  auto o = small_options();
+  NetflowGenerator gen(o);
+  Rng rng(5);
+  double total_flows = 0;
+  const int windows = 200;
+  for (int w = 0; w < windows; ++w) {
+    const auto records = gen.synthesize_window(o.diurnal_phase, 0, rng);
+    total_flows += static_cast<double>(records.size());
+    for (const auto& rec : records) {
+      EXPECT_EQ(rec.dst_vm, 0u);
+      EXPECT_GE(rec.packets, 1);
+      EXPECT_GE(rec.bytes, rec.packets);  // bytes/packet >= 1
+      EXPECT_LE(rec.syn_packets, rec.packets);
+    }
+  }
+  const double mean_flows = total_flows / windows;
+  EXPECT_NEAR(mean_flows, gen.flow_rate(o.diurnal_phase, 0),
+              0.2 * gen.flow_rate(o.diurnal_phase, 0));
+}
+
+TEST(Ddos, EpisodeValidation) {
+  DdosEpisode e;
+  e.peak_syn_rate = 0.0;
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+  e = DdosEpisode{};
+  e.response_collapse = 1.5;
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+  e = DdosEpisode{};
+  e.ramp = e.plateau = e.decay = 0;
+  EXPECT_THROW(e.validate(), std::invalid_argument);
+}
+
+TEST(Ddos, InjectionRaisesRhoDuringEpisode) {
+  VmTraffic vm;
+  vm.rho = TimeSeries(200, 0.0);
+  vm.in_packets = TimeSeries(200, 100.0);
+  DdosEpisode episode;
+  episode.start = 50;
+  episode.ramp = 5;
+  episode.plateau = 10;
+  episode.decay = 5;
+  episode.peak_syn_rate = 1000.0;
+  episode.response_collapse = 0.9;
+  Rng rng(7);
+  inject_ddos(vm, episode, rng);
+  // Outside the episode rho is untouched.
+  EXPECT_DOUBLE_EQ(vm.rho[10], 0.0);
+  EXPECT_DOUBLE_EQ(vm.rho[120], 0.0);
+  // At the plateau rho is near peak * collapse.
+  double plateau_max = 0.0;
+  for (Tick t = 55; t < 65; ++t) {
+    plateau_max = std::max(plateau_max,
+                           vm.rho[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_NEAR(plateau_max, 900.0, 200.0);
+  // Attack packets add inspection cost.
+  EXPECT_GT(vm.in_packets[60], 100.0);
+}
+
+TEST(Ddos, TruncatesAtTraceEnd) {
+  VmTraffic vm;
+  vm.rho = TimeSeries(100, 0.0);
+  vm.in_packets = TimeSeries(100, 0.0);
+  DdosEpisode episode;
+  episode.start = 95;
+  episode.ramp = 2;
+  episode.plateau = 10;
+  episode.decay = 2;
+  Rng rng(9);
+  EXPECT_NO_THROW(inject_ddos(vm, episode, rng));  // no out-of-range write
+}
+
+TEST(Ddos, PlaceEpisodesAreSortedAndDisjoint) {
+  DdosEpisode proto;
+  proto.ramp = 4;
+  proto.plateau = 8;
+  proto.decay = 4;
+  Rng rng(11);
+  const auto placed = place_episodes(2000, proto, 10, rng);
+  EXPECT_EQ(placed.size(), 10u);
+  for (std::size_t i = 1; i < placed.size(); ++i) {
+    EXPECT_GE(placed[i].start, placed[i - 1].start + placed[i - 1].length());
+  }
+}
+
+TEST(Ddos, PlaceEpisodesGivesUpGracefullyWhenCrowded) {
+  DdosEpisode proto;
+  proto.ramp = 10;
+  proto.plateau = 30;
+  proto.decay = 10;
+  Rng rng(13);
+  // 100 episodes of length 50 cannot fit in 300 ticks; expect fewer.
+  const auto placed = place_episodes(300, proto, 100, rng);
+  EXPECT_LT(placed.size(), 100u);
+  EXPECT_GE(placed.size(), 1u);
+}
+
+TEST(Ddos, PlaceEpisodesRejectsTooShortTrace) {
+  DdosEpisode proto;
+  Rng rng(15);
+  EXPECT_THROW(place_episodes(proto.length() - 1, proto, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(Ddos, AttackIsDetectableAboveBenignPercentile) {
+  // End-to-end: after injection, the attack ticks dominate the top
+  // percentile of rho — the property the selectivity-based thresholds use.
+  auto o = small_options();
+  NetflowGenerator gen(o);
+  auto traffic = gen.generate();
+  auto& vm = traffic[3];
+  const double benign_p999 = vm.rho.threshold_for_selectivity(0.1);
+  DdosEpisode episode;
+  episode.start = 700;
+  episode.peak_syn_rate = std::max(2000.0, benign_p999 * 50);
+  episode.response_collapse = 0.9;
+  Rng rng(17);
+  inject_ddos(vm, episode, rng);
+  double attack_peak = 0.0;
+  for (Tick t = episode.start; t < episode.start + episode.length(); ++t) {
+    attack_peak = std::max(attack_peak, vm.rho[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_GT(attack_peak, benign_p999);
+}
+
+}  // namespace
+}  // namespace volley

@@ -1,0 +1,197 @@
+// Tests for the experiment drivers (sim/runner): Volley vs periodic
+// baselines, detection accounting, op recording, the distributed-thresholds
+// contract, and the correlated-group driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/runner.h"
+#include "tasks/app_task.h"
+
+namespace volley {
+namespace {
+
+TimeSeries quiet_series(Tick ticks, std::uint64_t seed, double level = 0.0,
+                        double noise = 0.01) {
+  Rng rng(seed);
+  TimeSeries s(static_cast<std::size_t>(ticks));
+  for (Tick t = 0; t < ticks; ++t) {
+    s[static_cast<std::size_t>(t)] = level + rng.normal(0.0, noise);
+  }
+  return s;
+}
+
+TaskSpec spec_for(double threshold, double err = 0.02) {
+  TaskSpec spec;
+  spec.global_threshold = threshold;
+  spec.error_allowance = err;
+  spec.max_interval = 16;
+  spec.patience = 5;
+  spec.updating_period = 200;
+  return spec;
+}
+
+TEST(RunPeriodic, IntervalOneIsExactReference) {
+  // A spike-bearing series at interval 1 detects everything.
+  TimeSeries s = quiet_series(500, 1);
+  s[100] = 10.0;
+  s[250] = 12.0;
+  const TimeSeries arr[] = {s};
+  const auto r = run_periodic(arr, 5.0, 1);
+  EXPECT_EQ(r.total_ops(), 500);
+  EXPECT_DOUBLE_EQ(r.sampling_ratio(), 1.0);
+  EXPECT_EQ(r.true_episodes, 2);
+  EXPECT_EQ(r.detected_episodes, 2);
+  EXPECT_DOUBLE_EQ(r.episode_miss_rate(), 0.0);
+}
+
+TEST(RunPeriodic, LargeIntervalMissesShortViolations) {
+  // The Figure 1 scheme-B failure mode: one-tick violations between samples.
+  TimeSeries s = quiet_series(1000, 2);
+  s[101] = 10.0;  // not a multiple of 7
+  const TimeSeries arr[] = {s};
+  const auto r = run_periodic(arr, 5.0, 7);
+  EXPECT_LT(r.total_ops(), 150);
+  EXPECT_EQ(r.detected_episodes, 0);
+  EXPECT_DOUBLE_EQ(r.episode_miss_rate(), 1.0);
+}
+
+TEST(RunVolleySingle, SavesOpsOnQuietTraceWithoutMissing) {
+  // Quiet trace + one sustained violation: Volley must save ops and still
+  // catch the (long) episode.
+  TimeSeries s = quiet_series(2000, 3);
+  for (Tick t = 1500; t < 1540; ++t) s[static_cast<std::size_t>(t)] = 10.0;
+  const auto r = run_volley_single(spec_for(5.0), s);
+  EXPECT_LT(r.sampling_ratio(), 0.6);
+  EXPECT_EQ(r.true_episodes, 1);
+  EXPECT_EQ(r.detected_episodes, 1);
+}
+
+TEST(RunVolleySingle, NoisySeriesDegradesToPeriodic) {
+  // When beta always exceeds err the sampler stays at Id: ratio ~= 1.
+  Rng rng(5);
+  TimeSeries s(2000);
+  for (std::size_t t = 0; t < s.size(); ++t) s[t] = rng.normal(0.0, 1.0);
+  TaskSpec spec = spec_for(2.5, 0.0005);  // threshold 2.5 sigma, tiny err
+  const auto r = run_volley_single(spec, s);
+  EXPECT_GT(r.sampling_ratio(), 0.9);
+}
+
+TEST(RunVolleySingle, RecordsOpsAndIntervals) {
+  TimeSeries s = quiet_series(500, 7);
+  RunOptions options;
+  options.record_ops = true;
+  options.record_intervals = true;
+  const auto r = run_volley_single(spec_for(5.0), s, options);
+  ASSERT_EQ(r.op_ticks.size(), 1u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.op_ticks[0].size()), r.total_ops());
+  EXPECT_EQ(r.op_ticks[0].front(), 0);
+  EXPECT_EQ(r.interval_trajectory.size(), r.op_ticks[0].size());
+  // Intervals grow over the quiet trace.
+  EXPECT_GT(r.interval_trajectory.back(), 1);
+  // Op ticks are consistent with the recorded intervals (next op = prev +
+  // interval chosen at prev).
+  for (std::size_t i = 1; i < r.op_ticks[0].size(); ++i) {
+    EXPECT_EQ(r.op_ticks[0][i] - r.op_ticks[0][i - 1],
+              r.interval_trajectory[i - 1]);
+  }
+}
+
+TEST(RunVolley, ThresholdSumContractEnforced) {
+  const std::vector<TimeSeries> series{quiet_series(100, 8),
+                                       quiet_series(100, 9)};
+  const std::vector<double> bad{3.0, 3.0};  // sums to 6, not 5
+  EXPECT_THROW(run_volley(spec_for(5.0), series, bad), std::invalid_argument);
+}
+
+TEST(RunVolley, DistributedDetectionThroughGlobalPoll) {
+  // Each monitor stays below its local threshold except a window where both
+  // rise: only the aggregate crosses T, which only a global poll can see.
+  TimeSeries a = quiet_series(800, 10, 1.0, 0.02);
+  TimeSeries b = quiet_series(800, 11, 1.0, 0.02);
+  for (Tick t = 400; t < 420; ++t) {
+    a[static_cast<std::size_t>(t)] = 3.4;  // below local threshold 3.5
+    b[static_cast<std::size_t>(t)] = 3.4;
+  }
+  // One short local spike triggers the poll during the window.
+  a[405] = 3.6;
+  const std::vector<TimeSeries> series{a, b};
+  TaskSpec spec = spec_for(6.0);
+  const std::vector<double> locals{3.0, 3.0};
+  const auto r = run_volley(spec, series, locals);
+  EXPECT_GT(r.global_polls, 0);
+  EXPECT_GT(r.detected_alert_ticks, 0);
+}
+
+TEST(RunVolley, AllocatorKindsAllRun) {
+  const std::vector<TimeSeries> series{quiet_series(600, 12),
+                                       quiet_series(600, 13)};
+  const std::vector<double> locals{2.5, 2.5};
+  for (auto kind : {AllocatorKind::kNone, AllocatorKind::kEven,
+                    AllocatorKind::kAdaptive}) {
+    RunOptions options;
+    options.allocator = kind;
+    const auto r = run_volley(spec_for(5.0), series, locals, options);
+    EXPECT_GT(r.total_ops(), 0);
+    EXPECT_LE(r.sampling_ratio(), 1.05);
+  }
+}
+
+TEST(RunVolley, MoreAllowanceNeverCostsMore) {
+  TimeSeries s = quiet_series(3000, 14, 0.0, 0.05);
+  const auto tight = run_volley_single(spec_for(1.0, 0.002), s);
+  const auto loose = run_volley_single(spec_for(1.0, 0.05), s);
+  EXPECT_LE(loose.total_ops(), tight.total_ops());
+}
+
+TEST(RunCorrelatedGroup, GatingSavesFollowerOps) {
+  // Leader (cheap) and follower (expensive) share a low-frequency shape
+  // with a violation burst; gating must cut follower ops without missing
+  // the burst episode.
+  const Tick ticks = 3000;
+  Rng rng(15);
+  TimeSeries leader(static_cast<std::size_t>(ticks));
+  TimeSeries follower(static_cast<std::size_t>(ticks));
+  for (Tick t = 0; t < ticks; ++t) {
+    const bool burst = t >= 2000 && t < 2100;
+    const double base = burst ? 10.0 : 1.0 + 0.2 * std::sin(t * 0.01);
+    leader[static_cast<std::size_t>(t)] = base + rng.normal(0.0, 0.02);
+    follower[static_cast<std::size_t>(t)] =
+        2.0 * base + rng.normal(0.0, 0.02);
+  }
+  std::vector<CorrelatedTask> tasks(2);
+  tasks[0].spec = spec_for(8.0, 0.02);
+  tasks[0].series = leader;
+  tasks[0].cost_per_sample = 1.0;
+  tasks[1].spec = spec_for(16.0, 0.02);
+  tasks[1].series = follower;
+  tasks[1].cost_per_sample = 20.0;
+
+  CorrelationScheduler::Options sched;
+  sched.history_window = 512;
+  sched.plan_period = 256;
+  sched.min_history = 128;
+  sched.cooldown = 32;
+
+  const auto gated = run_correlated_group(tasks, sched, true);
+  const auto ungated = run_correlated_group(tasks, sched, false);
+  EXPECT_LT(gated.per_task[1].total_ops(), ungated.per_task[1].total_ops());
+  EXPECT_EQ(gated.per_task[1].detected_episodes,
+            gated.per_task[1].true_episodes);
+  EXPECT_FALSE(gated.final_plan.empty());
+  EXPECT_LT(gated.total_weighted_cost(tasks),
+            ungated.total_weighted_cost(tasks));
+}
+
+TEST(RunCorrelatedGroup, RejectsMismatchedLengths) {
+  std::vector<CorrelatedTask> tasks(2);
+  tasks[0].spec = spec_for(1.0);
+  tasks[0].series = quiet_series(100, 1);
+  tasks[1].spec = spec_for(1.0);
+  tasks[1].series = quiet_series(50, 2);
+  EXPECT_THROW(run_correlated_group(tasks, {}, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace volley

@@ -1,0 +1,308 @@
+// Unit tests for src/stats: Welford stats (the paper's online update rules),
+// windowed restart policy, quantiles (exact + P2), histogram, correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+#include "stats/online_stats.h"
+#include "stats/quantile.h"
+
+namespace volley {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, IsNumericallyStableForLargeOffsets) {
+  // Catastrophic cancellation check: tiny variance around a huge mean.
+  OnlineStats s;
+  const double base = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(base + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(3);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    all.add(x);
+    (i < 200 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineStats, MergeWithEmptyIsNoop) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(WindowedStats, RejectsBadWindow) {
+  EXPECT_THROW(WindowedStats(0), std::invalid_argument);
+  EXPECT_THROW(WindowedStats(10, -1), std::invalid_argument);
+}
+
+TEST(WindowedStats, EmptyHasNoStatistics) {
+  WindowedStats s(100);
+  EXPECT_FALSE(s.mean().has_value());
+  EXPECT_FALSE(s.stddev().has_value());
+}
+
+TEST(WindowedStats, RestartsAfterWindow) {
+  WindowedStats s(/*window=*/10, /*warmup=*/0);
+  for (int i = 0; i < 10; ++i) s.add(100.0);
+  EXPECT_NEAR(*s.mean(), 100.0, 1e-12);
+  // The 11th sample opens a fresh window; with warmup 0 the new (single
+  // sample) statistics take over immediately.
+  s.add(0.0);
+  EXPECT_EQ(s.current_count(), 1);
+  EXPECT_NEAR(*s.mean(), 0.0, 1e-12);
+}
+
+TEST(WindowedStats, WarmupServesPreviousWindow) {
+  WindowedStats s(/*window=*/10, /*warmup=*/4);
+  for (int i = 0; i < 10; ++i) s.add(100.0);
+  s.add(0.0);  // new window, 1 < warmup samples
+  EXPECT_NEAR(*s.mean(), 100.0, 1e-12);
+  s.add(0.0);
+  s.add(0.0);
+  s.add(0.0);  // 4 == warmup: new window takes over
+  EXPECT_NEAR(*s.mean(), 0.0, 1e-12);
+}
+
+TEST(WindowedStats, TracksDistributionShift) {
+  // The restart policy exists so the estimator follows the recent delta
+  // distribution (paper III-B). After a shift and one full window, the old
+  // regime must be forgotten.
+  WindowedStats s(/*window=*/100, /*warmup=*/8);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) s.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 200; ++i) s.add(rng.normal(50.0, 1.0));
+  EXPECT_GT(*s.mean(), 45.0);
+}
+
+TEST(ExactQuantile, HandlesEdgesAndInterpolation) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(exact_quantile(v, 0.5), 2.5);
+  EXPECT_THROW(exact_quantile(std::vector<double>{}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(exact_quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(ExactQuantile, MultiQuantileMatchesSingle) {
+  Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng.uniform());
+  const std::vector<double> qs{0.1, 0.25, 0.5, 0.9, 0.99};
+  const auto multi = exact_quantiles(v, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(multi[i], exact_quantile(v, qs[i]));
+  }
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const auto box = box_stats(v);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.q1, 26.0);
+  EXPECT_DOUBLE_EQ(box.median, 51.0);
+  EXPECT_DOUBLE_EQ(box.q3, 76.0);
+  EXPECT_DOUBLE_EQ(box.max, 101.0);
+}
+
+TEST(P2Quantile, RejectsBadQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.add(3.0);
+  EXPECT_DOUBLE_EQ(q.value(), 3.0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+TEST(P2Quantile, ApproximatesUniformMedian) {
+  P2Quantile q(0.5);
+  Rng rng(31);
+  for (int i = 0; i < 100000; ++i) q.add(rng.uniform());
+  EXPECT_NEAR(q.value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, ApproximatesNormalTail) {
+  P2Quantile q(0.95);
+  Rng rng(37);
+  for (int i = 0; i < 200000; ++i) q.add(rng.normal(0.0, 1.0));
+  EXPECT_NEAR(q.value(), 1.6449, 0.08);
+}
+
+TEST(P2Quantile, ThrowsWithoutSamples) {
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.value(), std::logic_error);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // underflow -> bin 0
+  h.add(25.0);   // overflow -> last bin
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.5);  // all mass in bin [0,1)
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 0.0);
+  EXPECT_LE(median, 1.0);
+}
+
+TEST(Histogram, MeanTracksInputs) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(10.0);
+  h.add(30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, QuantileOfUniformMassIsLinear) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.25), 0.25, 0.01);
+  EXPECT_NEAR(h.quantile(0.75), 0.75, 0.01);
+}
+
+TEST(Histogram, RenderMentionsEveryBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(text.find("[1, 2)"), std::string::npos);
+}
+
+TEST(Pearson, PerfectCorrelationIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(*pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelationIsMinusOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{5, 4, 3, 2, 1};
+  EXPECT_NEAR(*pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsUndefined) {
+  const std::vector<double> x{1, 1, 1, 1};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_FALSE(pearson(x, y).has_value());
+}
+
+TEST(Pearson, MismatchedSizesThrow) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  Rng rng(41);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal(0, 1));
+    y.push_back(rng.normal(0, 1));
+  }
+  EXPECT_NEAR(*pearson(x, y), 0.0, 0.03);
+}
+
+TEST(LaggedPearson, FindsKnownLag) {
+  // y is x delayed by 3 ticks: best lag should be +3 with corr ~ 1.
+  Rng rng(43);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.normal(0, 1);
+  std::vector<double> y(500, 0.0);
+  for (std::size_t i = 3; i < y.size(); ++i) y[i] = x[i - 3];
+  const auto best = best_lag_correlation(x, y, 8);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->lag, 3);
+  EXPECT_GT(best->corr, 0.95);
+}
+
+TEST(LaggedPearson, RespectsMinOverlap) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(lagged_pearson(x, x, 7, 8).has_value());
+  EXPECT_TRUE(lagged_pearson(x, x, 0, 8).has_value());
+}
+
+TEST(RollingCorrelation, TracksRecentWindowOnly) {
+  RollingCorrelation rc(50);
+  // First 50: anticorrelated. Then 50: correlated. Window must forget.
+  for (int i = 0; i < 50; ++i) rc.add(i, -i);
+  EXPECT_LT(*rc.current(), -0.99);
+  for (int i = 0; i < 50; ++i) rc.add(i, i);
+  EXPECT_GT(*rc.current(), 0.99);
+}
+
+}  // namespace
+}  // namespace volley

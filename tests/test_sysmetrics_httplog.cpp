@@ -1,0 +1,237 @@
+// Unit tests for the system-metric (66-metric catalog) and HTTP-workload
+// substrates: catalog shape, ranges, determinism, diurnal/burst features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/online_stats.h"
+#include "trace/httplog.h"
+#include "trace/sysmetrics.h"
+
+namespace volley {
+namespace {
+
+SysMetricsOptions sys_options() {
+  SysMetricsOptions o;
+  o.nodes = 3;
+  o.ticks = 2000;
+  o.ticks_per_day = 2000;
+  o.diurnal_phase = 1000;
+  o.seed = 5;
+  return o;
+}
+
+TEST(SysMetrics, CatalogHasExactly66UniqueMetrics) {
+  const auto& catalog = SysMetricsGenerator::catalog();
+  EXPECT_EQ(catalog.size(), 66u);  // the paper's dataset [19] has 66
+  std::set<std::string> names;
+  for (const auto& spec : catalog) {
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate metric " << spec.name;
+    EXPECT_LT(spec.lo, spec.hi);
+    EXPECT_GE(spec.mean, spec.lo);
+    EXPECT_LE(spec.mean, spec.hi);
+    EXPECT_GT(spec.sigma, 0.0);
+  }
+}
+
+TEST(SysMetrics, CatalogCoversPaperFamilies) {
+  const auto& catalog = SysMetricsGenerator::catalog();
+  std::set<std::string> names;
+  for (const auto& spec : catalog) names.insert(spec.name);
+  // The families the paper names: CPU, memory, vmstat, disk, network.
+  EXPECT_TRUE(names.count("cpu.user"));
+  EXPECT_TRUE(names.count("mem.free"));
+  EXPECT_TRUE(names.count("vmstat.ctx_switches"));
+  EXPECT_TRUE(names.count("disk0.usage"));
+  EXPECT_TRUE(names.count("net0.rx_mbps"));
+}
+
+TEST(SysMetrics, ValuesStayInRange) {
+  SysMetricsGenerator gen(sys_options());
+  for (std::size_t m : {0u, 10u, 30u, 50u, 65u}) {
+    const auto& spec = SysMetricsGenerator::catalog()[m];
+    const auto series = gen.generate_metric(0, m);
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      EXPECT_GE(series[t], spec.lo) << spec.name;
+      EXPECT_LE(series[t], spec.hi) << spec.name;
+    }
+  }
+}
+
+TEST(SysMetrics, DeterministicPerNodeAndMetric) {
+  SysMetricsGenerator a(sys_options()), b(sys_options());
+  const auto sa = a.generate_metric(1, 7);
+  const auto sb = b.generate_metric(1, 7);
+  for (std::size_t t = 0; t < sa.size(); t += 131) {
+    EXPECT_DOUBLE_EQ(sa[t], sb[t]);
+  }
+  // Different nodes differ.
+  const auto other = a.generate_metric(2, 7);
+  int diffs = 0;
+  for (std::size_t t = 0; t < sa.size(); ++t) {
+    if (sa[t] != other[t]) ++diffs;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(SysMetrics, OutOfRangeArgumentsThrow) {
+  SysMetricsGenerator gen(sys_options());
+  EXPECT_THROW(gen.generate_metric(99, 0), std::out_of_range);
+  EXPECT_THROW(gen.generate_metric(0, 999), std::out_of_range);
+}
+
+TEST(SysMetrics, GenerateNodeReturnsFullCatalog) {
+  auto o = sys_options();
+  o.ticks = 200;  // keep it quick
+  SysMetricsGenerator gen(o);
+  const auto node = gen.generate_node(0);
+  EXPECT_EQ(node.size(), 66u);
+  for (const auto& s : node) EXPECT_EQ(s.ticks(), 200);
+}
+
+TEST(SysMetrics, DiurnalGainMovesLoadCoupledMetrics) {
+  auto o = sys_options();
+  o.ticks = 4000;
+  o.ticks_per_day = 2000;
+  o.diurnal_phase = 1000;
+  o.diurnal_depth = 0.8;
+  SysMetricsGenerator gen(o);
+  // cpu.user (index 0) has strong positive diurnal gain.
+  const auto series = gen.generate_metric(0, 0);
+  OnlineStats peak, night;
+  for (Tick t = 0; t < o.ticks; ++t) {
+    const Tick pos = t % o.ticks_per_day;
+    const auto i = static_cast<std::size_t>(t);
+    if (std::abs(static_cast<double>(pos - o.diurnal_phase)) < 200) {
+      peak.add(series[i]);
+    } else if (pos < 200 || pos > o.ticks_per_day - 200) {
+      night.add(series[i]);
+    }
+  }
+  EXPECT_GT(peak.mean(), night.mean());
+}
+
+TEST(SysMetrics, RelativeJitterExceedsNetflowNight) {
+  // The Figure 5(b) rationale: system metrics are noisier relative to their
+  // operating range than night-time traffic; just assert the per-tick delta
+  // is a visible fraction of the series' own spread.
+  SysMetricsGenerator gen(sys_options());
+  const auto series = gen.generate_metric(0, 0);  // cpu.user
+  OnlineStats deltas, values;
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    deltas.add(series[t] - series[t - 1]);
+    values.add(series[t]);
+  }
+  EXPECT_GT(deltas.stddev(), 0.05 * values.stddev());
+}
+
+HttpLogOptions http_options() {
+  HttpLogOptions o;
+  o.objects = 5;
+  o.ticks = 4000;
+  o.ticks_per_day = 4000;
+  o.diurnal_phase = 2000;
+  o.mean_rps = 20.0;
+  o.seed = 7;
+  return o;
+}
+
+TEST(HttpLog, GeneratesAllObjects) {
+  HttpLogGenerator gen(http_options());
+  const auto traces = gen.generate();
+  ASSERT_EQ(traces.size(), 5u);
+  for (const auto& t : traces) EXPECT_EQ(t.rate.ticks(), 4000);
+}
+
+TEST(HttpLog, Deterministic) {
+  HttpLogGenerator a(http_options()), b(http_options());
+  const auto ta = a.generate();
+  const auto tb = b.generate();
+  for (std::size_t t = 0; t < ta[0].rate.size(); t += 211) {
+    EXPECT_DOUBLE_EQ(ta[0].rate[t], tb[0].rate[t]);
+  }
+}
+
+TEST(HttpLog, RatesAreNonNegativeCounts) {
+  HttpLogGenerator gen(http_options());
+  const auto traces = gen.generate();
+  for (const auto& tr : traces) {
+    for (std::size_t t = 0; t < tr.rate.size(); ++t) {
+      EXPECT_GE(tr.rate[t], 0.0);
+      EXPECT_DOUBLE_EQ(tr.rate[t], std::floor(tr.rate[t]));  // counts
+    }
+  }
+}
+
+TEST(HttpLog, PopularObjectDominates) {
+  HttpLogGenerator gen(http_options());
+  const auto traces = gen.generate();
+  EXPECT_GT(traces[0].rate.mean(), 2.0 * traces[4].rate.mean());
+}
+
+TEST(HttpLog, OffPeakValleyIsDeep) {
+  auto o = http_options();
+  o.diurnal_depth = 0.9;
+  o.flash_boost = 0.0;  // isolate the diurnal component
+  HttpLogGenerator gen(o);
+  const auto traces = gen.generate();
+  OnlineStats peak, night;
+  for (Tick t = 0; t < o.ticks; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (std::abs(static_cast<double>(t - o.diurnal_phase)) < 300) {
+      peak.add(traces[0].rate[i]);
+    } else if (t < 300 || t > o.ticks - 300) {
+      night.add(traces[0].rate[i]);
+    }
+  }
+  EXPECT_LT(night.mean(), 0.3 * peak.mean());
+}
+
+TEST(HttpLog, FlashCrowdsCreateHeavyUpperTail) {
+  auto quiet_opt = http_options();
+  quiet_opt.flash_boost = 0.0;
+  auto bursty_opt = http_options();
+  bursty_opt.flash_boost = 8.0;
+  bursty_opt.flash.mean_gap = 500;
+  const auto quiet = HttpLogGenerator(quiet_opt).generate();
+  const auto bursty = HttpLogGenerator(bursty_opt).generate();
+  const double q_hi = quiet[0].rate.threshold_for_selectivity(0.5);
+  const double b_hi = bursty[0].rate.threshold_for_selectivity(0.5);
+  const double q_med = quiet[0].rate.threshold_for_selectivity(50.0);
+  const double b_med = bursty[0].rate.threshold_for_selectivity(50.0);
+  // Bursts stretch the tail much more than the median.
+  EXPECT_GT(b_hi / std::max(b_med, 1.0), 1.5 * q_hi / std::max(q_med, 1.0));
+}
+
+TEST(HttpLog, SynthesizeTickProducesRequestedCount) {
+  HttpLogGenerator gen(http_options());
+  Rng rng(9);
+  const auto records = gen.synthesize_tick(42, 2, 17, rng);
+  EXPECT_EQ(records.size(), 17u);
+  int errors = 0;
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.tick, 42);
+    EXPECT_EQ(rec.object, 2u);
+    EXPECT_GT(rec.bytes, 0);
+    if (rec.status != 200) ++errors;
+  }
+  EXPECT_LT(errors, 5);
+  EXPECT_THROW(gen.synthesize_tick(0, 0, -1, rng), std::invalid_argument);
+}
+
+TEST(HttpLog, OptionsValidation) {
+  auto o = http_options();
+  o.objects = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = http_options();
+  o.mean_rps = 0.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+  o = http_options();
+  o.error_rate = 2.0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace volley

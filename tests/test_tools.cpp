@@ -1,0 +1,91 @@
+// Tests for the CLI glue: the config-driven MetricSource factory used by
+// the volleyd_monitor daemon.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "tools/source_factory.h"
+#include "trace/sysmetrics.h"
+
+namespace volley {
+namespace {
+
+TEST(SourceFactory, DefaultsToSine) {
+  const auto cfg = Config::from_args({"ticks=100"});
+  const auto source = tools::make_source(cfg);
+  ASSERT_TRUE(source);
+  EXPECT_EQ(source->length(), 100);
+}
+
+TEST(SourceFactory, SineRespectsParameters) {
+  const auto cfg = Config::from_args(
+      {"source=sine", "ticks=50", "base=10", "amplitude=0", "noise=0"});
+  const auto source = tools::make_source(cfg);
+  for (Tick t = 0; t < 50; t += 13) {
+    EXPECT_NEAR(source->value_at(t), 10.0, 1e-9);
+  }
+}
+
+TEST(SourceFactory, SineSpikeApplies) {
+  const auto cfg = Config::from_args(
+      {"source=sine", "ticks=100", "base=0", "amplitude=0", "noise=0",
+       "spike_at=40", "spike_len=5", "spike_value=7"});
+  const auto source = tools::make_source(cfg);
+  EXPECT_NEAR(source->value_at(39), 0.0, 1e-9);
+  EXPECT_NEAR(source->value_at(42), 7.0, 1e-9);
+  EXPECT_NEAR(source->value_at(45), 0.0, 1e-9);
+}
+
+TEST(SourceFactory, NetflowSourceWithAttack) {
+  const auto cfg = Config::from_args(
+      {"source=netflow", "vms=2", "vm=1", "ticks=300", "mean_flows=30",
+       "attack_at=200", "attack_peak=5000"});
+  const auto source = tools::make_source(cfg);
+  EXPECT_EQ(source->length(), 300);
+  // Attack plateau dominates benign rho.
+  double peak = 0.0;
+  for (Tick t = 200; t < 230; ++t) {
+    peak = std::max(peak, source->value_at(t));
+  }
+  EXPECT_GT(peak, 1000.0);
+  // Inspection cost series is attached (netflow source carries packets).
+  EXPECT_GT(source->sampling_cost(210), 1.0);
+}
+
+TEST(SourceFactory, NetflowRejectsBadVm) {
+  const auto cfg = Config::from_args({"source=netflow", "vms=2", "vm=5"});
+  EXPECT_THROW(tools::make_source(cfg), std::invalid_argument);
+}
+
+TEST(SourceFactory, SysmetricByIndexAndByName) {
+  const auto by_index = tools::make_source(Config::from_args(
+      {"source=sysmetric", "metric=0", "ticks=200"}));
+  const auto by_name = tools::make_source(Config::from_args(
+      {"source=sysmetric", "metric=cpu.user", "ticks=200"}));
+  for (Tick t = 0; t < 200; t += 37) {
+    EXPECT_DOUBLE_EQ(by_index->value_at(t), by_name->value_at(t));
+  }
+}
+
+TEST(SourceFactory, SysmetricUnknownNameThrows) {
+  const auto cfg =
+      Config::from_args({"source=sysmetric", "metric=cpu.bogus"});
+  EXPECT_THROW(tools::make_source(cfg), std::invalid_argument);
+}
+
+TEST(SourceFactory, HttpSourceYieldsCounts) {
+  const auto cfg = Config::from_args(
+      {"source=http", "objects=2", "object=0", "ticks=400", "mean_rps=10"});
+  const auto source = tools::make_source(cfg);
+  EXPECT_EQ(source->length(), 400);
+  for (Tick t = 0; t < 400; t += 41) {
+    EXPECT_GE(source->value_at(t), 0.0);
+  }
+}
+
+TEST(SourceFactory, UnknownKindThrows) {
+  const auto cfg = Config::from_args({"source=quantum"});
+  EXPECT_THROW(tools::make_source(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace volley
