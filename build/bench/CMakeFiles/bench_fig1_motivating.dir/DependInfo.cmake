@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_motivating.cpp" "bench/CMakeFiles/bench_fig1_motivating.dir/bench_fig1_motivating.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_motivating.dir/bench_fig1_motivating.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/volley_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/volley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/volley_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/volley_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/volley_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

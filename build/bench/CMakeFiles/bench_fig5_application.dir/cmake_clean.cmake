@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_application.dir/bench_fig5_application.cpp.o"
+  "CMakeFiles/bench_fig5_application.dir/bench_fig5_application.cpp.o.d"
+  "bench_fig5_application"
+  "bench_fig5_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_system.dir/bench_fig5_system.cpp.o"
+  "CMakeFiles/bench_fig5_system.dir/bench_fig5_system.cpp.o.d"
+  "bench_fig5_system"
+  "bench_fig5_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_misdetection.dir/bench_fig7_misdetection.cpp.o"
+  "CMakeFiles/bench_fig7_misdetection.dir/bench_fig7_misdetection.cpp.o.d"
+  "bench_fig7_misdetection"
+  "bench_fig7_misdetection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_misdetection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_coordination.dir/bench_fig8_coordination.cpp.o"
+  "CMakeFiles/bench_fig8_coordination.dir/bench_fig8_coordination.cpp.o.d"
+  "bench_fig8_coordination"
+  "bench_fig8_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

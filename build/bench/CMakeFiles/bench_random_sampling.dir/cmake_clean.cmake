@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_sampling.dir/bench_random_sampling.cpp.o"
+  "CMakeFiles/bench_random_sampling.dir/bench_random_sampling.cpp.o.d"
+  "bench_random_sampling"
+  "bench_random_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_tasks.dir/bench_window_tasks.cpp.o"
+  "CMakeFiles/bench_window_tasks.dir/bench_window_tasks.cpp.o.d"
+  "bench_window_tasks"
+  "bench_window_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_scale.dir/datacenter_scale.cpp.o"
+  "CMakeFiles/datacenter_scale.dir/datacenter_scale.cpp.o.d"
+  "datacenter_scale"
+  "datacenter_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sockets.dir/distributed_sockets.cpp.o"
+  "CMakeFiles/distributed_sockets.dir/distributed_sockets.cpp.o.d"
+  "distributed_sockets"
+  "distributed_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

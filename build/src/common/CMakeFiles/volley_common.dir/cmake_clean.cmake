@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_common.dir/config.cpp.o"
+  "CMakeFiles/volley_common.dir/config.cpp.o.d"
+  "CMakeFiles/volley_common.dir/log.cpp.o"
+  "CMakeFiles/volley_common.dir/log.cpp.o.d"
+  "CMakeFiles/volley_common.dir/rng.cpp.o"
+  "CMakeFiles/volley_common.dir/rng.cpp.o.d"
+  "libvolley_common.a"
+  "libvolley_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_sampler.cpp" "src/core/CMakeFiles/volley_core.dir/adaptive_sampler.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/adaptive_sampler.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/volley_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/volley_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/error_allocation.cpp" "src/core/CMakeFiles/volley_core.dir/error_allocation.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/error_allocation.cpp.o.d"
+  "/root/repo/src/core/likelihood.cpp" "src/core/CMakeFiles/volley_core.dir/likelihood.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/likelihood.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/volley_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/periodic_sampler.cpp" "src/core/CMakeFiles/volley_core.dir/periodic_sampler.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/periodic_sampler.cpp.o.d"
+  "/root/repo/src/core/threshold_split.cpp" "src/core/CMakeFiles/volley_core.dir/threshold_split.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/threshold_split.cpp.o.d"
+  "/root/repo/src/core/window_aggregate.cpp" "src/core/CMakeFiles/volley_core.dir/window_aggregate.cpp.o" "gcc" "src/core/CMakeFiles/volley_core.dir/window_aggregate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_core.dir/adaptive_sampler.cpp.o"
+  "CMakeFiles/volley_core.dir/adaptive_sampler.cpp.o.d"
+  "CMakeFiles/volley_core.dir/coordinator.cpp.o"
+  "CMakeFiles/volley_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/volley_core.dir/correlation.cpp.o"
+  "CMakeFiles/volley_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/volley_core.dir/error_allocation.cpp.o"
+  "CMakeFiles/volley_core.dir/error_allocation.cpp.o.d"
+  "CMakeFiles/volley_core.dir/likelihood.cpp.o"
+  "CMakeFiles/volley_core.dir/likelihood.cpp.o.d"
+  "CMakeFiles/volley_core.dir/monitor.cpp.o"
+  "CMakeFiles/volley_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/volley_core.dir/periodic_sampler.cpp.o"
+  "CMakeFiles/volley_core.dir/periodic_sampler.cpp.o.d"
+  "CMakeFiles/volley_core.dir/threshold_split.cpp.o"
+  "CMakeFiles/volley_core.dir/threshold_split.cpp.o.d"
+  "CMakeFiles/volley_core.dir/window_aggregate.cpp.o"
+  "CMakeFiles/volley_core.dir/window_aggregate.cpp.o.d"
+  "libvolley_core.a"
+  "libvolley_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

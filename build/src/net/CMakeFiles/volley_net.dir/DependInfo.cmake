@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/coordinator_node.cpp" "src/net/CMakeFiles/volley_net.dir/coordinator_node.cpp.o" "gcc" "src/net/CMakeFiles/volley_net.dir/coordinator_node.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/net/CMakeFiles/volley_net.dir/framing.cpp.o" "gcc" "src/net/CMakeFiles/volley_net.dir/framing.cpp.o.d"
+  "/root/repo/src/net/messages.cpp" "src/net/CMakeFiles/volley_net.dir/messages.cpp.o" "gcc" "src/net/CMakeFiles/volley_net.dir/messages.cpp.o.d"
+  "/root/repo/src/net/monitor_node.cpp" "src/net/CMakeFiles/volley_net.dir/monitor_node.cpp.o" "gcc" "src/net/CMakeFiles/volley_net.dir/monitor_node.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/volley_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/volley_net.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/volley_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

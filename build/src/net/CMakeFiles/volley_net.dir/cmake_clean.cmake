@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_net.dir/coordinator_node.cpp.o"
+  "CMakeFiles/volley_net.dir/coordinator_node.cpp.o.d"
+  "CMakeFiles/volley_net.dir/framing.cpp.o"
+  "CMakeFiles/volley_net.dir/framing.cpp.o.d"
+  "CMakeFiles/volley_net.dir/messages.cpp.o"
+  "CMakeFiles/volley_net.dir/messages.cpp.o.d"
+  "CMakeFiles/volley_net.dir/monitor_node.cpp.o"
+  "CMakeFiles/volley_net.dir/monitor_node.cpp.o.d"
+  "CMakeFiles/volley_net.dir/socket.cpp.o"
+  "CMakeFiles/volley_net.dir/socket.cpp.o.d"
+  "libvolley_net.a"
+  "libvolley_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/volley_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/datacenter.cpp" "src/sim/CMakeFiles/volley_sim.dir/datacenter.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/datacenter.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/volley_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/volley_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/volley_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/volley_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/volley_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/volley_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/volley_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/volley_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/datacenter.cpp.o"
+  "CMakeFiles/volley_sim.dir/datacenter.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/volley_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/experiment.cpp.o"
+  "CMakeFiles/volley_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/faults.cpp.o"
+  "CMakeFiles/volley_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/runner.cpp.o"
+  "CMakeFiles/volley_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/volley_sim.dir/simulation.cpp.o"
+  "CMakeFiles/volley_sim.dir/simulation.cpp.o.d"
+  "libvolley_sim.a"
+  "libvolley_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_stats.dir/correlation.cpp.o"
+  "CMakeFiles/volley_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/volley_stats.dir/histogram.cpp.o"
+  "CMakeFiles/volley_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/volley_stats.dir/online_stats.cpp.o"
+  "CMakeFiles/volley_stats.dir/online_stats.cpp.o.d"
+  "CMakeFiles/volley_stats.dir/quantile.cpp.o"
+  "CMakeFiles/volley_stats.dir/quantile.cpp.o.d"
+  "libvolley_stats.a"
+  "libvolley_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/log_analysis.cpp" "src/storage/CMakeFiles/volley_storage.dir/log_analysis.cpp.o" "gcc" "src/storage/CMakeFiles/volley_storage.dir/log_analysis.cpp.o.d"
+  "/root/repo/src/storage/sample_log.cpp" "src/storage/CMakeFiles/volley_storage.dir/sample_log.cpp.o" "gcc" "src/storage/CMakeFiles/volley_storage.dir/sample_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

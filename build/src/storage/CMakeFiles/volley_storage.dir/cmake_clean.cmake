@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_storage.dir/log_analysis.cpp.o"
+  "CMakeFiles/volley_storage.dir/log_analysis.cpp.o.d"
+  "CMakeFiles/volley_storage.dir/sample_log.cpp.o"
+  "CMakeFiles/volley_storage.dir/sample_log.cpp.o.d"
+  "libvolley_storage.a"
+  "libvolley_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

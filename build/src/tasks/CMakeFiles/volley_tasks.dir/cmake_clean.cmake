@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_tasks.dir/app_task.cpp.o"
+  "CMakeFiles/volley_tasks.dir/app_task.cpp.o.d"
+  "CMakeFiles/volley_tasks.dir/network_task.cpp.o"
+  "CMakeFiles/volley_tasks.dir/network_task.cpp.o.d"
+  "CMakeFiles/volley_tasks.dir/system_task.cpp.o"
+  "CMakeFiles/volley_tasks.dir/system_task.cpp.o.d"
+  "libvolley_tasks.a"
+  "libvolley_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_logcat.dir/volley_logcat.cpp.o"
+  "CMakeFiles/volley_logcat.dir/volley_logcat.cpp.o.d"
+  "volley_logcat"
+  "volley_logcat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_logcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

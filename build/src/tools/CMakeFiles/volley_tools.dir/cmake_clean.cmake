@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_tools.dir/source_factory.cpp.o"
+  "CMakeFiles/volley_tools.dir/source_factory.cpp.o.d"
+  "libvolley_tools.a"
+  "libvolley_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvolley_tools.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volleyd_coordinator.dir/volleyd_coordinator.cpp.o"
+  "CMakeFiles/volleyd_coordinator.dir/volleyd_coordinator.cpp.o.d"
+  "volleyd_coordinator"
+  "volleyd_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volleyd_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

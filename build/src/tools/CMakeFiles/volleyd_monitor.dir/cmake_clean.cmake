@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volleyd_monitor.dir/volleyd_monitor.cpp.o"
+  "CMakeFiles/volleyd_monitor.dir/volleyd_monitor.cpp.o.d"
+  "volleyd_monitor"
+  "volleyd_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volleyd_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/ddos.cpp" "src/trace/CMakeFiles/volley_trace.dir/ddos.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/ddos.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/volley_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/httplog.cpp" "src/trace/CMakeFiles/volley_trace.dir/httplog.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/httplog.cpp.o.d"
+  "/root/repo/src/trace/netflow.cpp" "src/trace/CMakeFiles/volley_trace.dir/netflow.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/netflow.cpp.o.d"
+  "/root/repo/src/trace/sampling.cpp" "src/trace/CMakeFiles/volley_trace.dir/sampling.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/sampling.cpp.o.d"
+  "/root/repo/src/trace/sysmetrics.cpp" "src/trace/CMakeFiles/volley_trace.dir/sysmetrics.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/sysmetrics.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/volley_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/volley_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volley_trace.dir/ddos.cpp.o"
+  "CMakeFiles/volley_trace.dir/ddos.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/generators.cpp.o"
+  "CMakeFiles/volley_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/httplog.cpp.o"
+  "CMakeFiles/volley_trace.dir/httplog.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/netflow.cpp.o"
+  "CMakeFiles/volley_trace.dir/netflow.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/sampling.cpp.o"
+  "CMakeFiles/volley_trace.dir/sampling.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/sysmetrics.cpp.o"
+  "CMakeFiles/volley_trace.dir/sysmetrics.cpp.o.d"
+  "CMakeFiles/volley_trace.dir/trace.cpp.o"
+  "CMakeFiles/volley_trace.dir/trace.cpp.o.d"
+  "libvolley_trace.a"
+  "libvolley_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volley_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_allocation.dir/test_error_allocation.cpp.o"
+  "CMakeFiles/test_error_allocation.dir/test_error_allocation.cpp.o.d"
+  "test_error_allocation"
+  "test_error_allocation.pdb"
+  "test_error_allocation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_analysis.dir/test_log_analysis.cpp.o"
+  "CMakeFiles/test_log_analysis.dir/test_log_analysis.cpp.o.d"
+  "test_log_analysis"
+  "test_log_analysis.pdb"
+  "test_log_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/test_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/volley_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/volley_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/volley_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/volley_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/volley_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/volley_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/volley_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/volley_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/volley_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

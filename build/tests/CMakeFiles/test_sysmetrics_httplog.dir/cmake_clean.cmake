@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysmetrics_httplog.dir/test_sysmetrics_httplog.cpp.o"
+  "CMakeFiles/test_sysmetrics_httplog.dir/test_sysmetrics_httplog.cpp.o.d"
+  "test_sysmetrics_httplog"
+  "test_sysmetrics_httplog.pdb"
+  "test_sysmetrics_httplog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysmetrics_httplog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

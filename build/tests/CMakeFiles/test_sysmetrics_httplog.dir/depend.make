@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sysmetrics_httplog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_likelihood[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive_sampler[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_coordinator[1]_include.cmake")
+include("/root/repo/build/tests/test_error_allocation[1]_include.cmake")
+include("/root/repo/build/tests/test_correlation_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_netflow[1]_include.cmake")
+include("/root/repo/build/tests/test_sysmetrics_httplog[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_log_analysis[1]_include.cmake")
