@@ -71,6 +71,44 @@ std::vector<double> clamp_and_normalize(std::vector<double> alloc,
   return alloc;
 }
 
+std::vector<double> redistribute_allowance(
+    double err, std::span<const double> current,
+    std::span<const std::size_t> excluded) {
+  const std::size_t n = current.size();
+  if (n == 0) throw std::invalid_argument("redistribute_allowance: empty");
+  std::vector<bool> dead(n, false);
+  for (std::size_t i : excluded) {
+    if (i >= n)
+      throw std::invalid_argument("redistribute_allowance: bad index");
+    dead[i] = true;
+  }
+  std::vector<double> out(current.begin(), current.end());
+  std::vector<double> alive;
+  alive.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) {
+      out[i] = 0.0;
+    } else {
+      alive.push_back(out[i]);
+    }
+  }
+  if (alive.empty()) return out;
+  const double sum =
+      std::accumulate(alive.begin(), alive.end(), 0.0);
+  if (sum <= 0.0) {
+    // Degenerate survivors (all at zero): fall back to an even split.
+    for (double& a : alive) a = err / static_cast<double>(alive.size());
+  } else {
+    for (double& a : alive) a *= err / sum;
+  }
+  alive = clamp_and_normalize(std::move(alive), err, 0.01 * err);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!dead[i]) out[i] = alive[j++];
+  }
+  return out;
+}
+
 std::vector<double> AdaptiveAllocation::allocate(
     double err, std::span<const double> current,
     std::span<const CoordStats> stats) {

@@ -81,4 +81,15 @@ class AdaptiveAllocation final : public AllowanceAllocator {
 std::vector<double> clamp_and_normalize(std::vector<double> alloc,
                                         double total, double floor_value);
 
+/// Reclaims the allowance of failed monitors. Entries whose index appears
+/// in `excluded` are zeroed; the surviving entries are rescaled (keeping
+/// their relative proportions, with the standard err/100 floor) so the
+/// whole vector sums to `err` again — because beta_c <= sum_i beta_i holds
+/// over the *reachable* monitors, a dead monitor's unused allowance is free
+/// error budget for the survivors. Excluding every monitor yields all
+/// zeros.
+std::vector<double> redistribute_allowance(
+    double err, std::span<const double> current,
+    std::span<const std::size_t> excluded);
+
 }  // namespace volley

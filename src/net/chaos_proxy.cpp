@@ -1,0 +1,206 @@
+#include "net/chaos_proxy.h"
+
+#include <poll.h>
+
+#include <array>
+#include <chrono>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "net/messages.h"
+
+namespace volley::net {
+
+namespace {
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int kPartialWriteGapMs = 3;
+}  // namespace
+
+ChaosProxy::ChaosProxy(const ChaosProxyOptions& options)
+    : options_(options),
+      listener_(options.listen_port),
+      rng_(options.plan.message_loss.seed) {
+  options_.plan.validate();
+  if (options_.upstream_port == 0)
+    throw std::invalid_argument("ChaosProxy: upstream_port required");
+  listener_.set_nonblocking(true);
+}
+
+void ChaosProxy::cut(Link& link) {
+  if (link.closed) return;
+  link.client.close();
+  link.upstream.close();
+  link.closed = true;
+}
+
+void ChaosProxy::admit_frame(Link& link, bool from_client,
+                             std::vector<std::byte> payload,
+                             std::int64_t now) {
+  const NetFaultPlan& plan = options_.plan;
+  // Frame-type-targeted drops: the simulator's message-loss semantics
+  // applied on the wire.
+  const auto message = decode(payload);
+  if (message) {
+    if (std::holds_alternative<LocalViolation>(*message) &&
+        rng_.bernoulli(plan.message_loss.violation_report_loss)) {
+      ++stats_.dropped_violations;
+      return;
+    }
+    if (std::holds_alternative<PollResponse>(*message) &&
+        rng_.bernoulli(plan.message_loss.poll_response_loss)) {
+      ++stats_.dropped_responses;
+      return;
+    }
+    if ((std::holds_alternative<Heartbeat>(*message) ||
+         std::holds_alternative<HeartbeatAck>(*message)) &&
+        rng_.bernoulli(plan.heartbeat_loss)) {
+      ++stats_.dropped_heartbeats;
+      return;
+    }
+  }
+
+  QueuedFrame frame;
+  frame.bytes = frame_payload(payload);
+  frame.due_ms = now;
+  if (plan.delay_prob > 0.0 && rng_.bernoulli(plan.delay_prob)) {
+    frame.due_ms = now + plan.delay_ms;
+    ++stats_.delayed_frames;
+  }
+  if (plan.partial_write_prob > 0.0 &&
+      rng_.bernoulli(plan.partial_write_prob) && frame.bytes.size() > 1) {
+    frame.partial = true;
+    ++stats_.partial_writes;
+  }
+  (from_client ? link.to_upstream : link.to_client)
+      .push_back(std::move(frame));
+
+  ++link.frames;
+  ++stats_.forwarded_frames;
+  if (options_.plan.disconnect_after_frames > 0 &&
+      link.frames >= options_.plan.disconnect_after_frames &&
+      stats_.disconnects < options_.plan.max_disconnects) {
+    ++stats_.disconnects;
+    VLOG_WARN("chaos", "cutting proxied connection after ", link.frames,
+              " frames");
+    cut(link);
+  }
+}
+
+void ChaosProxy::ingest(Link& link, bool from_client,
+                        std::span<const std::byte> data, std::int64_t now) {
+  FrameReader& reader =
+      from_client ? link.client_reader : link.upstream_reader;
+  reader.feed(data);
+  while (auto payload = reader.next()) {
+    admit_frame(link, from_client, std::move(*payload), now);
+    if (link.closed) return;
+  }
+}
+
+void ChaosProxy::flush(Link& link, std::int64_t now) {
+  const auto flush_direction = [&](std::deque<QueuedFrame>& queue,
+                                   TcpConnection& out) {
+    while (!queue.empty() && !link.closed) {
+      QueuedFrame& frame = queue.front();
+      if (frame.due_ms > now) break;  // FIFO: later frames wait behind it
+      if (frame.partial && frame.offset == 0) {
+        // First half now, the rest a few milliseconds later.
+        const std::size_t half = frame.bytes.size() / 2;
+        if (!out.send_all(std::span<const std::byte>(frame.bytes.data(),
+                                                     half))) {
+          cut(link);
+          return;
+        }
+        frame.offset = half;
+        frame.partial = false;
+        frame.due_ms = now + kPartialWriteGapMs;
+        break;
+      }
+      if (!out.send_all(std::span<const std::byte>(
+              frame.bytes.data() + frame.offset,
+              frame.bytes.size() - frame.offset))) {
+        cut(link);
+        return;
+      }
+      queue.pop_front();
+    }
+  };
+  flush_direction(link.to_upstream, link.upstream);
+  flush_direction(link.to_client, link.client);
+}
+
+void ChaosProxy::run() {
+  std::array<std::byte, 8192> buf;
+  while (!stop_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    const std::size_t link_count = links_.size();
+    for (const auto& link : links_) {
+      // Closed links keep placeholder entries so indices line up.
+      const int cfd = link->closed ? -1 : link->client.fd();
+      const int ufd = link->closed ? -1 : link->upstream.fd();
+      fds.push_back(pollfd{cfd, POLLIN, 0});
+      fds.push_back(pollfd{ufd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 5);
+    if (ready < 0 && errno != EINTR) break;
+    const std::int64_t now = now_ms();
+
+    for (std::size_t i = 0; i < link_count; ++i) {
+      Link& link = *links_[i];
+      if (link.closed) continue;
+      for (int side = 0; side < 2; ++side) {
+        const bool from_client = side == 0;
+        if (!(fds[1 + 2 * i + side].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        TcpConnection& in = from_client ? link.client : link.upstream;
+        const auto n = in.recv_some(buf);
+        if (!n) continue;
+        if (*n == 0) {
+          // One side hung up: flush what is queued, then mirror the close.
+          flush(link, now + (1 << 20));
+          cut(link);
+          break;
+        }
+        ingest(link, from_client,
+               std::span<const std::byte>(buf.data(), *n), now);
+        if (link.closed) break;
+      }
+    }
+
+    for (auto& link : links_) {
+      if (!link->closed) flush(*link, now);
+    }
+
+    if (fds[0].revents & POLLIN) {
+      while (auto client = listener_.accept()) {
+        auto upstream = TcpConnection::try_connect(
+            options_.upstream_host, options_.upstream_port,
+            options_.upstream_connect_timeout_ms);
+        if (!upstream) {
+          VLOG_WARN("chaos", "upstream refused; dropping client");
+          continue;
+        }
+        client->set_nonblocking(true);
+        upstream->set_nonblocking(true);
+        auto link = std::make_unique<Link>();
+        link->client = std::move(*client);
+        link->upstream = std::move(*upstream);
+        links_.push_back(std::move(link));
+        ++stats_.connections;
+      }
+    }
+
+    // Garbage-collect fully closed links.
+    std::erase_if(links_,
+                  [](const std::unique_ptr<Link>& l) { return l->closed; });
+  }
+  for (auto& link : links_) cut(*link);
+}
+
+}  // namespace volley::net

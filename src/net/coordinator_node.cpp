@@ -22,25 +22,39 @@ CoordinatorNode::CoordinatorNode(const CoordinatorNodeOptions& options)
     : options_(options), listener_(options.port) {
   if (options.monitors == 0)
     throw std::invalid_argument("CoordinatorNode: monitors > 0");
+  if (options.heartbeat_timeout_ms <= 0)
+    throw std::invalid_argument("CoordinatorNode: heartbeat_timeout_ms > 0");
+  if (options.staleness_bound_ms <= 0)
+    throw std::invalid_argument("CoordinatorNode: staleness_bound_ms > 0");
   if (options.adaptive_allocation) {
     allocator_ = std::make_unique<AdaptiveAllocation>();
   } else {
     allocator_ = std::make_unique<EvenAllocation>();
   }
-  allocation_.assign(options.monitors,
-                     options.error_allowance /
-                         static_cast<double>(options.monitors));
+  listener_.set_nonblocking(true);
 }
 
-bool CoordinatorNode::send_to(Session& session, const Message& message) {
+bool CoordinatorNode::send_to(MonitorId id, Session& session,
+                              const Message& message) {
+  if (!session.connected) return false;
   const auto payload = encode(message);
-  return session.conn.send_all(frame_payload(payload));
+  if (session.conn.send_all(frame_payload(payload))) return true;
+  disconnect_session(id, session);
+  return false;
 }
 
 void CoordinatorNode::broadcast(const Message& message) {
-  for (auto& session : sessions_) {
-    if (session->conn.valid()) send_to(*session, message);
+  for (auto& [id, session] : sessions_) {
+    if (session.connected) send_to(id, session, message);
   }
+}
+
+std::size_t CoordinatorNode::finished_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session.done || session.state == MonitorLiveness::kDead) ++n;
+  }
+  return n;
 }
 
 void CoordinatorNode::start_poll(Tick tick) {
@@ -50,11 +64,35 @@ void CoordinatorNode::start_poll(Tick tick) {
   poll_started_ms_ = now_ms();
   ++global_polls_;
   broadcast(PollRequest{tick, *active_poll_});
+  check_poll_completion();  // every reachable monitor may already be gone
+}
+
+void CoordinatorNode::check_poll_completion() {
+  if (!active_poll_) return;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.connected || session.state != MonitorLiveness::kActive)
+      continue;
+    if (!poll_values_.count(id)) return;  // still waiting on a live monitor
+  }
+  finish_poll();
 }
 
 void CoordinatorNode::finish_poll() {
   double sum = 0.0;
+  bool stale = false;
   for (const auto& [id, value] : poll_values_) sum += value;
+  for (const auto& [id, session] : sessions_) {
+    if (poll_values_.count(id)) continue;
+    if (session.state == MonitorLiveness::kDead) continue;  // excluded
+    if (session.has_value) {
+      // Suspect or unreachable: settle with the last known value, exactly
+      // the simulator's poll_response_loss fallback.
+      sum += session.last_value;
+      stale = true;
+      ++fault_stats_.stale_values;
+    }
+  }
+  if (stale) ++fault_stats_.stale_polls;
   if (sum > options_.global_threshold) {
     alerts_.push_back(GlobalAlert{active_poll_tick_, sum});
   }
@@ -63,43 +101,177 @@ void CoordinatorNode::finish_poll() {
 }
 
 void CoordinatorNode::maybe_reallocate() {
-  if (pending_stats_.size() < options_.monitors) return;
+  // Reallocation needs a StatsReport from every *reachable* monitor: dead
+  // monitors are excluded (their allowance was reclaimed) and done monitors
+  // no longer report.
+  std::vector<MonitorId> eligible;
+  for (const auto& [id, session] : sessions_) {
+    if (session.done || session.state == MonitorLiveness::kDead) continue;
+    eligible.push_back(id);
+  }
+  if (eligible.empty() || !all_joined()) return;
+  for (MonitorId id : eligible) {
+    if (!pending_stats_.count(id)) return;
+  }
+  std::vector<double> current;
   std::vector<CoordStats> stats;
-  stats.reserve(options_.monitors);
-  for (const auto& [id, s] : pending_stats_) stats.push_back(s);
-  allocation_ =
-      allocator_->allocate(options_.error_allowance, allocation_, stats);
-  // pending_stats_ is ordered by monitor id; allocation_ follows that order.
-  std::size_t index = 0;
-  for (const auto& [id, s] : pending_stats_) {
-    for (auto& session : sessions_) {
-      if (session->id == id) {
-        send_to(*session, AllowanceUpdate{allocation_[index]});
-        break;
-      }
+  current.reserve(eligible.size());
+  stats.reserve(eligible.size());
+  for (MonitorId id : eligible) {
+    current.push_back(allowance_[id]);
+    stats.push_back(pending_stats_[id]);
+  }
+  const double budget = options_.error_allowance;
+  const auto next = allocator_->allocate(budget, current, stats);
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    allowance_[eligible[i]] = next[i];
+    auto& session = sessions_.at(eligible[i]);
+    if (session.connected) {
+      send_to(eligible[i], session, AllowanceUpdate{next[i]});
     }
-    ++index;
   }
   pending_stats_.clear();
   ++reallocations_;
 }
 
-void CoordinatorNode::handle_message(Session& session,
+void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
+  if (session.state != MonitorLiveness::kActive || session.done) return;
+  session.state = MonitorLiveness::kSuspect;
+  session.suspect_since_ms = now_ms();
+  ++fault_stats_.suspected;
+  VLOG_WARN("coordinator", "monitor ", id, " is suspect");
+  check_poll_completion();
+}
+
+void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
+  session.state = MonitorLiveness::kDead;
+  ++fault_stats_.declared_dead;
+  VLOG_WARN("coordinator", "monitor ", id,
+            " declared dead; reclaiming its allowance");
+  pending_stats_.erase(id);
+  redistribute_and_push();
+  check_poll_completion();
+  maybe_reallocate();
+}
+
+void CoordinatorNode::redistribute_and_push() {
+  // Zero the dead monitors' shares and rescale the survivors to the full
+  // task allowance (core/error_allocation semantics).
+  std::vector<MonitorId> ids;
+  std::vector<double> current;
+  std::vector<std::size_t> excluded;
+  for (const auto& [id, session] : sessions_) {
+    if (session.state == MonitorLiveness::kDead) excluded.push_back(ids.size());
+    ids.push_back(id);
+    current.push_back(allowance_[id]);
+  }
+  if (ids.empty() || excluded.size() == ids.size()) return;
+  const auto next =
+      redistribute_allowance(options_.error_allowance, current, excluded);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    allowance_[ids[i]] = next[i];
+    auto& session = sessions_.at(ids[i]);
+    if (session.connected && session.state == MonitorLiveness::kActive &&
+        !session.done) {
+      send_to(ids[i], session, AllowanceUpdate{next[i]});
+    }
+  }
+  ++fault_stats_.allowance_reclaims;
+}
+
+void CoordinatorNode::disconnect_session(MonitorId id, Session& session) {
+  session.conn.close();
+  session.connected = false;
+  if (!session.done) mark_suspect(id, session);
+}
+
+void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
+  const MonitorId id = hello.monitor;
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    if (sessions_.size() >= options_.monitors) {
+      VLOG_WARN("coordinator", "unexpected extra monitor ", id,
+                "; dropping connection");
+      return;
+    }
+    Session session;
+    session.conn = std::move(pending.conn);
+    session.reader = std::move(pending.reader);
+    session.last_seen_ms = now_ms();
+    it = sessions_.emplace(id, std::move(session)).first;
+    allowance_.emplace(id, options_.error_allowance /
+                               static_cast<double>(options_.monitors));
+    if (hello.resume) {
+      // A monitor resuming against a restarted coordinator: resync it.
+      ++fault_stats_.reconnects;
+      send_to(id, it->second, AllowanceUpdate{allowance_[id]});
+    }
+    if (all_joined() && pending_poll_tick_ && !active_poll_) {
+      const Tick tick = *pending_poll_tick_;
+      pending_poll_tick_.reset();
+      start_poll(tick);
+    }
+  } else {
+    Session& session = it->second;
+    const bool was_dead = session.state == MonitorLiveness::kDead;
+    const bool was_down = session.state != MonitorLiveness::kActive;
+    session.conn.close();
+    session.conn = std::move(pending.conn);
+    session.reader = std::move(pending.reader);
+    session.connected = true;
+    session.state = MonitorLiveness::kActive;
+    session.last_seen_ms = now_ms();
+    ++fault_stats_.reconnects;
+    if (was_down) ++fault_stats_.recovered;
+    if (was_dead) {
+      // Re-admit: the monitor re-enters at the allowance floor and earns
+      // its share back through StatsReports.
+      VLOG_INFO("coordinator", "dead monitor ", id, " rejoined");
+      redistribute_and_push();
+    }
+    send_to(id, session, AllowanceUpdate{allowance_[id]});  // resync handshake
+  }
+  // Frames that followed Hello in the same burst are already buffered.
+  Session& session = it->second;
+  while (auto payload = session.reader.next()) {
+    const auto message = decode(*payload);
+    if (!message) continue;
+    handle_message(id, session, *message);
+  }
+}
+
+void CoordinatorNode::handle_message(MonitorId id, Session& session,
                                      const Message& message) {
-  if (const auto* hello = std::get_if<Hello>(&message)) {
-    session.id = hello->monitor;
+  if (session.state == MonitorLiveness::kSuspect) {
+    // Any traffic from a suspect proves it alive again.
+    session.state = MonitorLiveness::kActive;
+    ++fault_stats_.recovered;
+  }
+  if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
+    ++fault_stats_.heartbeats;
+    send_to(id, session, HeartbeatAck{heartbeat->seq});
     return;
+  }
+  if (std::get_if<Hello>(&message)) {
+    return;  // duplicate Hello on an already-bound session
   }
   if (const auto* violation = std::get_if<LocalViolation>(&message)) {
     // One poll at a time: coincident local violations are answered by the
-    // in-flight poll's aggregate.
-    if (!active_poll_) start_poll(violation->tick);
+    // in-flight poll's aggregate. Before the full house joined, remember
+    // the violation and poll once everyone is in.
+    if (!all_joined()) {
+      pending_poll_tick_ = violation->tick;
+    } else if (!active_poll_) {
+      start_poll(violation->tick);
+    }
     return;
   }
   if (const auto* response = std::get_if<PollResponse>(&message)) {
+    session.last_value = response->value;
+    session.has_value = true;
     if (active_poll_ && response->poll_id == *active_poll_) {
       poll_values_[response->monitor] = response->value;
-      if (poll_values_.size() >= options_.monitors) finish_poll();
+      check_poll_completion();
     }
     return;
   }
@@ -115,52 +287,100 @@ void CoordinatorNode::handle_message(Session& session,
   if (const auto* bye = std::get_if<Bye>(&message)) {
     if (!session.done) {
       session.done = true;
-      ++done_count_;
       reported_ops_[bye->monitor] = bye->scheduled_ops + bye->forced_ops;
     }
     return;
   }
+  (void)id;
 }
 
 void CoordinatorNode::run() {
-  // Phase 1: accept the expected number of monitors.
-  while (sessions_.size() < options_.monitors) {
-    auto conn = listener_.accept();
-    if (!conn) continue;
-    conn->set_nonblocking(true);
-    auto session = std::make_unique<Session>();
-    session->conn = std::move(*conn);
-    sessions_.push_back(std::move(session));
-  }
-
-  // Phase 2: event loop until every monitor said Bye.
   std::array<std::byte, 8192> buf;
   std::int64_t last_activity_ms = now_ms();
-  while (done_count_ < options_.monitors) {
+
+  while (!stop_.load()) {
+    if (all_joined() && finished_sessions() >= options_.monitors) break;
+
+    // fds: [0] listener, then pending connections, then live sessions.
     std::vector<pollfd> fds;
-    fds.reserve(sessions_.size());
-    for (const auto& session : sessions_) {
-      fds.push_back(pollfd{session->conn.fd(), POLLIN, 0});
+    std::vector<MonitorId> session_order;
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    const std::size_t pending_count = pending_.size();
+    for (const auto& pending : pending_) {
+      fds.push_back(pollfd{pending.conn.fd(), POLLIN, 0});
+    }
+    for (const auto& [id, session] : sessions_) {
+      if (!session.connected) continue;
+      fds.push_back(pollfd{session.conn.fd(), POLLIN, 0});
+      session_order.push_back(id);
     }
     const int ready = ::poll(fds.data(), fds.size(), 20);
     if (ready < 0 && errno != EINTR) break;
+    const std::int64_t now = now_ms();
 
-    for (std::size_t i = 0; i < sessions_.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      Session& session = *sessions_[i];
-      if (!session.conn.valid()) continue;
+    // Pending connections: wait for Hello, then bind to a session.
+    std::vector<PendingConn> still_pending;
+    for (std::size_t i = 0; i < pending_count; ++i) {
+      PendingConn& pending = pending_[i];
+      bool drop = false;
+      bool bound = false;
+      if (fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        const auto n = pending.conn.recv_some(buf);
+        if (n && *n == 0) drop = true;
+        if (n && *n > 0) {
+          last_activity_ms = now;
+          pending.reader.feed(std::span<const std::byte>(buf.data(), *n));
+          while (auto payload = pending.reader.next()) {
+            const auto message = decode(*payload);
+            if (!message) continue;
+            if (const auto* hello = std::get_if<Hello>(&*message)) {
+              bind_session(std::move(pending), *hello);
+              bound = true;
+              break;
+            }
+            VLOG_WARN("coordinator", "dropping pre-Hello frame");
+          }
+        }
+      }
+      // A connection silent for a whole heartbeat timeout never said Hello.
+      if (!bound && !drop &&
+          now - pending.since_ms > options_.heartbeat_timeout_ms) {
+        drop = true;
+      }
+      if (!bound && !drop) still_pending.push_back(std::move(pending));
+    }
+    pending_ = std::move(still_pending);
+
+    // New connections (initial joins and reconnects alike); they are polled
+    // for their Hello from the next loop turn on.
+    if (fds[0].revents & POLLIN) {
+      while (auto conn = listener_.accept()) {
+        conn->set_nonblocking(true);
+        PendingConn pending;
+        pending.conn = std::move(*conn);
+        pending.since_ms = now;
+        pending_.push_back(std::move(pending));
+        last_activity_ms = now;
+      }
+    }
+
+    // Live sessions.
+    for (std::size_t i = 0; i < session_order.size(); ++i) {
+      const auto revents = fds[1 + pending_count + i].revents;
+      if (!(revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const MonitorId id = session_order[i];
+      Session& session = sessions_.at(id);
+      if (!session.connected) continue;
       const auto n = session.conn.recv_some(buf);
       if (!n) continue;
       if (*n == 0) {
-        // Peer vanished: treat as done so the session can still terminate.
-        session.conn.close();
-        if (!session.done) {
-          session.done = true;
-          ++done_count_;
-        }
+        // Peer vanished. After Bye this is the normal end of a monitor;
+        // mid-session it makes the monitor suspect (it may reconnect).
+        disconnect_session(id, session);
         continue;
       }
-      last_activity_ms = now_ms();
+      last_activity_ms = now;
+      session.last_seen_ms = now;
       session.reader.feed(std::span<const std::byte>(buf.data(), *n));
       while (auto payload = session.reader.next()) {
         const auto message = decode(*payload);
@@ -168,25 +388,40 @@ void CoordinatorNode::run() {
           VLOG_WARN("coordinator", "dropping malformed frame");
           continue;
         }
-        handle_message(session, *message);
+        handle_message(id, session, *message);
+      }
+    }
+
+    // Liveness deadlines: silent -> suspect -> dead.
+    for (auto& [id, session] : sessions_) {
+      if (session.done) continue;
+      if (session.state == MonitorLiveness::kActive &&
+          now - session.last_seen_ms > options_.heartbeat_timeout_ms) {
+        mark_suspect(id, session);
+      } else if (session.state == MonitorLiveness::kSuspect &&
+                 now - session.suspect_since_ms >
+                     options_.staleness_bound_ms) {
+        declare_dead(id, session);
       }
     }
 
     // Poll timeout: settle with whatever arrived.
     if (active_poll_ &&
-        now_ms() - poll_started_ms_ > options_.poll_timeout_ms) {
+        now - poll_started_ms_ > options_.poll_timeout_ms) {
       VLOG_WARN("coordinator", "global poll timed out with ",
                 poll_values_.size(), "/", options_.monitors, " responses");
       finish_poll();
     }
-    // Idle guard: a silent session means lost monitors; bail out.
-    if (now_ms() - last_activity_ms > options_.idle_timeout_ms) {
+    // Idle guard: a fully silent session means lost monitors; bail out.
+    if (now - last_activity_ms > options_.idle_timeout_ms) {
       VLOG_ERROR("coordinator", "session idle too long; aborting");
       break;
     }
   }
 
-  broadcast(Shutdown{});
+  // request_stop() simulates a crash: vanish without a Shutdown so monitors
+  // exercise their reconnect path against a successor.
+  if (!stop_.load()) broadcast(Shutdown{});
 }
 
 }  // namespace volley::net

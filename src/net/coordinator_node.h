@@ -5,14 +5,29 @@
 //  * LocalViolation  -> start a global poll (coincident violations while a
 //    poll is in flight are absorbed by that poll, as in the paper: one
 //    global poll answers "is the global condition violated right now");
-//  * PollResponse    -> when every monitor answered, aggregate and compare
-//    against the global threshold T; record a state alert if exceeded;
-//  * StatsReport     -> once all monitors reported, reallocate the error
-//    allowance (even or adaptive scheme) and push AllowanceUpdates;
+//  * PollResponse    -> when every reachable monitor answered, aggregate and
+//    compare against the global threshold T; record a state alert if
+//    exceeded;
+//  * StatsReport     -> once all reachable monitors reported, reallocate the
+//    error allowance (even or adaptive scheme) and push AllowanceUpdates;
+//  * Heartbeat       -> refresh the monitor's liveness deadline, echo an ack;
 //  * Bye             -> when all monitors said goodbye, broadcast Shutdown
 //    and return.
+//
+// Failure model (the companion paper [22]'s concern, mirrored from
+// sim/faults.h): a monitor silent past heartbeat_timeout_ms — or whose
+// connection drops without a Bye — becomes SUSPECT. An in-flight global
+// poll no longer waits on suspects: it completes with the suspect's last
+// known value (the same stale-value fallback the simulator applies on
+// poll_response_loss), and the poll is accounted as stale. A suspect that
+// stays silent past staleness_bound_ms becomes DEAD: it is excluded from
+// aggregation and its error allowance is reclaimed and redistributed to
+// the survivors (core/error_allocation's redistribute_allowance). A
+// reconnecting monitor reattaches with Hello{resume}; the coordinator
+// responds with an AllowanceUpdate so the monitor resyncs its allowance.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -33,13 +48,30 @@ struct CoordinatorNodeOptions {
   double global_threshold{0.0};
   double error_allowance{0.01};
   bool adaptive_allocation{true};
-  int poll_timeout_ms{1000};   // give up on unreachable monitors
-  int idle_timeout_ms{30000};  // abort a silent session (deadlock guard)
+  int poll_timeout_ms{1000};       // settle a poll with whatever arrived
+  int idle_timeout_ms{30000};      // abort a fully silent session
+  int heartbeat_timeout_ms{2000};  // silence before a monitor is SUSPECT
+  int staleness_bound_ms{6000};    // SUSPECT duration before DEAD (reclaim)
 };
 
 struct GlobalAlert {
   Tick tick{0};
   double value{0.0};
+};
+
+/// Liveness state of one monitor as the coordinator sees it.
+enum class MonitorLiveness { kActive, kSuspect, kDead };
+
+/// Fault accounting for a session, in the spirit of sim::FaultyRunResult.
+struct NetFaultStats {
+  std::int64_t heartbeats{0};          // heartbeats received (and acked)
+  std::int64_t stale_polls{0};         // polls settled with >= 1 stale value
+  std::int64_t stale_values{0};        // individual last-known fill-ins
+  std::int64_t suspected{0};           // Active -> Suspect transitions
+  std::int64_t recovered{0};           // Suspect/Dead -> Active transitions
+  std::int64_t declared_dead{0};       // Suspect -> Dead transitions
+  std::int64_t reconnects{0};          // resumed sessions (Hello{resume})
+  std::int64_t allowance_reclaims{0};  // redistributions due to death/rejoin
 };
 
 class CoordinatorNode {
@@ -50,12 +82,20 @@ class CoordinatorNode {
   std::uint16_t port() const { return listener_.port(); }
 
   /// Blocking: accepts monitors, runs the session, shuts monitors down.
+  /// Returns when every monitor is done (Bye) or dead, on the idle guard,
+  /// or on request_stop().
   void run();
+
+  /// Asks a running coordinator to stop at the next loop turn *without*
+  /// broadcasting Shutdown — connections are simply dropped, exactly like a
+  /// coordinator crash. Monitors are expected to reconnect to a successor.
+  void request_stop() { stop_.store(true); }
 
   // Results, valid after run() returns.
   std::int64_t global_polls() const { return global_polls_; }
   const std::vector<GlobalAlert>& alerts() const { return alerts_; }
   std::int64_t reallocations() const { return reallocations_; }
+  const NetFaultStats& fault_stats() const { return fault_stats_; }
   /// Per-monitor op totals from Bye messages (monitor id -> ops).
   const std::map<MonitorId, std::int64_t>& reported_ops() const {
     return reported_ops_;
@@ -65,22 +105,42 @@ class CoordinatorNode {
   struct Session {
     TcpConnection conn;
     FrameReader reader;
-    std::optional<MonitorId> id;
+    MonitorLiveness state{MonitorLiveness::kActive};
     bool done{false};
+    bool connected{true};
+    std::int64_t last_seen_ms{0};
+    std::int64_t suspect_since_ms{0};
+    double last_value{0.0};  // freshest PollResponse (stale fallback)
+    bool has_value{false};
   };
 
-  void handle_message(Session& session, const Message& message);
+  struct PendingConn {  // accepted, Hello not yet seen
+    TcpConnection conn;
+    FrameReader reader;
+    std::int64_t since_ms{0};
+  };
+
+  void handle_message(MonitorId id, Session& session, const Message& message);
+  void bind_session(PendingConn&& pending, const Hello& hello);
   void start_poll(Tick tick);
+  void check_poll_completion();
   void finish_poll();
   void maybe_reallocate();
+  void mark_suspect(MonitorId id, Session& session);
+  void declare_dead(MonitorId id, Session& session);
+  void redistribute_and_push();
+  void disconnect_session(MonitorId id, Session& session);
   void broadcast(const Message& message);
-  bool send_to(Session& session, const Message& message);
+  bool send_to(MonitorId id, Session& session, const Message& message);
+  bool all_joined() const { return sessions_.size() >= options_.monitors; }
+  std::size_t finished_sessions() const;
 
   CoordinatorNodeOptions options_;
   TcpListener listener_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::map<MonitorId, Session> sessions_;
+  std::vector<PendingConn> pending_;
   std::unique_ptr<AllowanceAllocator> allocator_;
-  std::vector<double> allocation_;
+  std::map<MonitorId, double> allowance_;
 
   // Global-poll state.
   std::uint64_t next_poll_id_{1};
@@ -88,15 +148,17 @@ class CoordinatorNode {
   Tick active_poll_tick_{0};
   std::map<MonitorId, double> poll_values_;
   std::int64_t poll_started_ms_{0};
+  std::optional<Tick> pending_poll_tick_;  // violation before full house
 
   // Stats-report state.
   std::map<MonitorId, CoordStats> pending_stats_;
 
+  std::atomic<bool> stop_{false};
   std::int64_t global_polls_{0};
   std::int64_t reallocations_{0};
   std::vector<GlobalAlert> alerts_;
+  NetFaultStats fault_stats_;
   std::map<MonitorId, std::int64_t> reported_ops_;
-  std::size_t done_count_{0};
 };
 
 }  // namespace volley::net

@@ -15,6 +15,8 @@ enum class Type : std::uint8_t {
   kAllowanceUpdate = 6,
   kBye = 7,
   kShutdown = 8,
+  kHeartbeat = 9,
+  kHeartbeatAck = 10,
 };
 
 class Writer {
@@ -67,6 +69,7 @@ std::vector<std::byte> encode(const Message& message) {
         if constexpr (std::is_same_v<T, Hello>) {
           w.u8(static_cast<std::uint8_t>(Type::kHello));
           w.u32(m.monitor);
+          w.u8(m.resume ? 1 : 0);
         } else if constexpr (std::is_same_v<T, LocalViolation>) {
           w.u8(static_cast<std::uint8_t>(Type::kLocalViolation));
           w.u32(m.monitor);
@@ -98,6 +101,13 @@ std::vector<std::byte> encode(const Message& message) {
           w.i64(m.forced_ops);
         } else if constexpr (std::is_same_v<T, Shutdown>) {
           w.u8(static_cast<std::uint8_t>(Type::kShutdown));
+        } else if constexpr (std::is_same_v<T, Heartbeat>) {
+          w.u8(static_cast<std::uint8_t>(Type::kHeartbeat));
+          w.u32(m.monitor);
+          w.u64(m.seq);
+        } else if constexpr (std::is_same_v<T, HeartbeatAck>) {
+          w.u8(static_cast<std::uint8_t>(Type::kHeartbeatAck));
+          w.u64(m.seq);
         }
       },
       message);
@@ -111,7 +121,10 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
   switch (static_cast<Type>(type)) {
     case Type::kHello: {
       Hello m;
-      if (!r.u32(m.monitor) || !r.done()) return std::nullopt;
+      std::uint8_t resume = 0;
+      if (!r.u32(m.monitor) || !r.u8(resume) || !r.done())
+        return std::nullopt;
+      m.resume = resume != 0;
       return m;
     }
     case Type::kLocalViolation: {
@@ -155,6 +168,17 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
     case Type::kShutdown: {
       if (!r.done()) return std::nullopt;
       return Shutdown{};
+    }
+    case Type::kHeartbeat: {
+      Heartbeat m;
+      if (!r.u32(m.monitor) || !r.u64(m.seq) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kHeartbeatAck: {
+      HeartbeatAck m;
+      if (!r.u64(m.seq) || !r.done()) return std::nullopt;
+      return m;
     }
   }
   return std::nullopt;

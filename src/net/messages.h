@@ -1,7 +1,15 @@
 // Volley wire protocol messages (Figure 3's arrows, serialized).
 //
-//   monitor -> coordinator:  Hello, LocalViolation, PollResponse, StatsReport, Bye
-//   coordinator -> monitor:  PollRequest, AllowanceUpdate, Shutdown
+//   monitor -> coordinator:  Hello, LocalViolation, PollResponse, StatsReport,
+//                            Heartbeat, Bye
+//   coordinator -> monitor:  PollRequest, AllowanceUpdate, HeartbeatAck,
+//                            Shutdown
+//
+// Liveness: monitors heartbeat on a wall-clock interval; the coordinator
+// acks each one. A silent monitor is declared *suspect* after
+// heartbeat_timeout_ms and *dead* after staleness_bound_ms (see
+// coordinator_node.h). Hello carries a `resume` flag so a reconnecting
+// monitor can reattach to its session and resync its error allowance.
 //
 // Encoding: 1 type byte followed by fixed-width little-endian fields
 // (u32/i64/f64). Decoding is total: a malformed buffer returns nullopt
@@ -22,6 +30,10 @@ namespace volley::net {
 
 struct Hello {
   MonitorId monitor{0};
+  /// True when this connection resumes an interrupted session: the
+  /// coordinator reattaches the monitor's state and replies with an
+  /// AllowanceUpdate carrying the current allowance (the resync handshake).
+  bool resume{false};
 };
 
 struct LocalViolation {
@@ -61,8 +73,21 @@ struct Bye {
 
 struct Shutdown {};
 
-using Message = std::variant<Hello, LocalViolation, PollRequest, PollResponse,
-                             StatsReport, AllowanceUpdate, Bye, Shutdown>;
+/// Monitor-side liveness beacon, sent every heartbeat_interval_ms.
+struct Heartbeat {
+  MonitorId monitor{0};
+  std::uint64_t seq{0};
+};
+
+/// Coordinator's echo of a Heartbeat; lets the monitor detect a half-open
+/// (silently dead) coordinator connection.
+struct HeartbeatAck {
+  std::uint64_t seq{0};
+};
+
+using Message =
+    std::variant<Hello, LocalViolation, PollRequest, PollResponse, StatsReport,
+                 AllowanceUpdate, Bye, Shutdown, Heartbeat, HeartbeatAck>;
 
 /// Serializes a message (payload only; add framing separately).
 std::vector<std::byte> encode(const Message& message);

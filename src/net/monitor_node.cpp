@@ -1,5 +1,6 @@
 #include "net/monitor_node.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <thread>
@@ -8,10 +9,19 @@
 
 namespace volley::net {
 
+namespace {
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 MonitorNode::MonitorNode(const MonitorNodeOptions& options,
                          const MetricSource& source)
     : options_(options),
-      monitor_(options.id, source, options.sampler, options.local_threshold) {
+      monitor_(options.id, source, options.sampler, options.local_threshold),
+      jitter_rng_(static_cast<std::uint64_t>(options.id) * 7919 + 17) {
   if (!options.sample_log_path.empty()) {
     sample_log_ = std::make_unique<SampleLogWriter>(options.sample_log_path);
   }
@@ -19,30 +29,109 @@ MonitorNode::MonitorNode(const MonitorNodeOptions& options,
     throw std::invalid_argument("MonitorNode: ticks >= 1");
   if (options.updating_period < 1)
     throw std::invalid_argument("MonitorNode: updating_period >= 1");
+  if (options.heartbeat_interval_ms <= 0)
+    throw std::invalid_argument("MonitorNode: heartbeat_interval_ms > 0");
+  if (options.reconnect_backoff_ms <= 0 ||
+      options.reconnect_backoff_max_ms < options.reconnect_backoff_ms)
+    throw std::invalid_argument("MonitorNode: bad reconnect backoff");
 }
 
-bool MonitorNode::send(TcpConnection& conn, const Message& m) {
+bool MonitorNode::send(const Message& m) {
+  if (!connected_) return false;
   const auto payload = encode(m);
-  return conn.send_all(frame_payload(payload));
+  if (conn_.send_all(frame_payload(payload))) return true;
+  drop_connection();
+  return false;
 }
 
-bool MonitorNode::service_messages(TcpConnection& conn, FrameReader& reader,
-                                   Tick t) {
-  std::array<std::byte, 4096> buf;
-  while (true) {
-    const auto n = conn.recv_some(buf);
-    if (!n) break;          // no data ready (non-blocking)
-    if (*n == 0) return false;  // peer closed
-    reader.feed(std::span<const std::byte>(buf.data(), *n));
+void MonitorNode::drop_connection() {
+  if (connected_) {
+    VLOG_WARN("monitor", "lost coordinator link; entering degraded mode");
   }
-  while (auto payload = reader.next()) {
+  conn_.close();
+  connected_ = false;
+  reader_ = FrameReader{};
+  backoff_ms_ = options_.reconnect_backoff_ms;
+  next_attempt_ms_ = now_ms();  // first retry is immediate
+}
+
+bool MonitorNode::try_attach(bool resume) {
+  auto conn = TcpConnection::try_connect(options_.coordinator_host,
+                                         options_.coordinator_port,
+                                         options_.connect_timeout_ms);
+  if (!conn) return false;
+  conn->set_nonblocking(true);
+  conn_ = std::move(*conn);
+  reader_ = FrameReader{};
+  connected_ = true;
+  last_rx_ms_ = now_ms();
+  last_heartbeat_ms_ = 0;  // heartbeat on the next loop turn
+  if (!send(Hello{options_.id, resume})) return false;
+  return true;
+}
+
+void MonitorNode::maybe_reconnect(std::int64_t now) {
+  if (connected_ || coordinator_lost_) return;
+  if (now < next_attempt_ms_) return;
+  if (try_attach(/*resume=*/ever_connected_)) {
+    failed_attempts_ = 0;
+    if (ever_connected_) {
+      ++reconnects_;
+      VLOG_INFO("monitor", "reconnected to coordinator (resume)");
+    }
+    ever_connected_ = true;
+    return;
+  }
+  ++failed_attempts_;
+  if (failed_attempts_ >= options_.max_reconnect_attempts) {
+    VLOG_ERROR("monitor", "giving up on coordinator after ",
+               failed_attempts_, " attempts; running degraded to the end");
+    coordinator_lost_ = true;
+    return;
+  }
+  // Capped exponential backoff with +-25% jitter so a fleet of monitors
+  // does not reconnect in lockstep after a coordinator restart.
+  const double jitter = jitter_rng_.uniform(0.75, 1.25);
+  next_attempt_ms_ =
+      now + static_cast<std::int64_t>(backoff_ms_ * jitter);
+  backoff_ms_ = std::min(backoff_ms_ * 2, options_.reconnect_backoff_max_ms);
+}
+
+void MonitorNode::heartbeat_if_due(std::int64_t now) {
+  if (!connected_) return;
+  if (now - last_heartbeat_ms_ < options_.heartbeat_interval_ms) return;
+  if (send(Heartbeat{options_.id, ++heartbeat_seq_})) {
+    last_heartbeat_ms_ = now;
+  }
+}
+
+MonitorNode::ServiceResult MonitorNode::service_messages(Tick t) {
+  std::array<std::byte, 4096> buf;
+  bool peer_closed = false;
+  while (true) {
+    const auto n = conn_.recv_some(buf);
+    if (!n) break;  // no data ready (non-blocking)
+    if (*n == 0) {  // peer closed; frames already received still count
+      peer_closed = true;
+      break;
+    }
+    last_rx_ms_ = now_ms();
+    reader_.feed(std::span<const std::byte>(buf.data(), *n));
+  }
+  while (auto payload = reader_.next()) {
     const auto message = decode(*payload);
     if (!message) {
       VLOG_WARN("monitor", "dropping malformed frame");
       continue;
     }
-    if (std::holds_alternative<Shutdown>(*message)) return false;
+    if (std::holds_alternative<Shutdown>(*message))
+      return ServiceResult::kShutdown;
+    if (std::holds_alternative<HeartbeatAck>(*message)) {
+      continue;  // its arrival already refreshed last_rx_ms_
+    }
     if (const auto* update = std::get_if<AllowanceUpdate>(&*message)) {
+      // Initial allocation, periodic reallocation, and the post-reconnect
+      // allowance resync all arrive through here.
       monitor_.set_error_allowance(update->error_allowance);
     } else if (const auto* poll = std::get_if<PollRequest>(&*message)) {
       // Answer with the freshest value this node can produce: its state at
@@ -54,44 +143,72 @@ bool MonitorNode::service_messages(TcpConnection& conn, FrameReader& reader,
       resp.poll_id = poll->poll_id;
       resp.tick = t;
       resp.value = outcome.sample.value;
-      if (!send(conn, resp)) return false;
+      if (!send(resp)) return ServiceResult::kDisconnected;
     }
   }
-  return true;
+  if (peer_closed) {
+    drop_connection();
+    return ServiceResult::kDisconnected;
+  }
+  return ServiceResult::kOk;
 }
 
 void MonitorNode::run() {
-  TcpConnection conn = TcpConnection::connect(options_.coordinator_host,
-                                              options_.coordinator_port);
-  conn.set_nonblocking(true);
-  FrameReader reader;
-  if (!send(conn, Hello{options_.id})) return;
+  backoff_ms_ = options_.reconnect_backoff_ms;
+  next_attempt_ms_ = now_ms();
+  if (try_attach(/*resume=*/false)) {
+    ever_connected_ = true;
+  }
 
   Tick next_report = options_.updating_period;
   for (Tick t = 0; t < options_.ticks && !stop_.load(); ++t) {
-    if (!service_messages(conn, reader, t)) return;
-
-    if (monitor_.due(t)) {
-      const auto outcome = monitor_.step(t);
-      log_sample(outcome);
-      if (outcome.local_violation) {
-        LocalViolation report;
-        report.monitor = options_.id;
-        report.tick = t;
-        report.value = outcome.sample.value;
-        if (!send(conn, report)) return;
+    const std::int64_t now = now_ms();
+    if (connected_) {
+      switch (service_messages(t)) {
+        case ServiceResult::kShutdown:
+          if (sample_log_) sample_log_->flush();
+          return;
+        case ServiceResult::kDisconnected:
+        case ServiceResult::kOk:
+          break;
       }
     }
+    // A half-open link delivers nothing — not even heartbeat acks.
+    if (connected_ && now - last_rx_ms_ > options_.coordinator_timeout_ms) {
+      VLOG_WARN("monitor", "coordinator silent for too long");
+      drop_connection();
+    }
+    heartbeat_if_due(now);
+    maybe_reconnect(now);
 
-    if (t >= next_report) {
-      next_report = t + options_.updating_period;
-      const CoordStats stats = monitor_.drain_coord_stats();
-      StatsReport report;
-      report.monitor = options_.id;
-      report.avg_gain = stats.avg_gain;
-      report.avg_allowance = stats.avg_allowance;
-      report.observations = stats.observations;
-      if (!send(conn, report)) return;
+    if (connected_) {
+      if (monitor_.due(t)) {
+        const auto outcome = monitor_.step(t);
+        log_sample(outcome);
+        if (outcome.local_violation) {
+          LocalViolation report;
+          report.monitor = options_.id;
+          report.tick = t;
+          report.value = outcome.sample.value;
+          send(report);  // failure flips to degraded mode; keep ticking
+        }
+      }
+      if (connected_ && t >= next_report) {
+        const CoordStats stats = monitor_.drain_coord_stats();
+        StatsReport report;
+        report.monitor = options_.id;
+        report.avg_gain = stats.avg_gain;
+        report.avg_allowance = stats.avg_allowance;
+        report.observations = stats.observations;
+        if (send(report)) next_report = t + options_.updating_period;
+      }
+    } else {
+      // Degraded mode: fall back to periodic sampling at the default
+      // interval — the conservative schedule — so the violation likelihood
+      // of the unobserved window is zero while the coordinator is away.
+      const auto outcome = monitor_.force_sample(t);
+      log_sample(outcome);
+      ++degraded_ticks_;
     }
 
     std::this_thread::sleep_for(std::chrono::microseconds(options_.tick_micros));
@@ -103,14 +220,16 @@ void MonitorNode::run() {
   bye.monitor = options_.id;
   bye.scheduled_ops = monitor_.scheduled_ops();
   bye.forced_ops = monitor_.forced_ops();
-  if (!send(conn, bye)) return;
+  if (!send(bye)) return;
 
-  // Keep answering polls for stragglers until Shutdown or grace timeout.
+  // Keep answering polls (and heartbeating) for stragglers until Shutdown
+  // or the grace timeout.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(options_.shutdown_grace_ms);
   while (std::chrono::steady_clock::now() < deadline && !stop_.load()) {
     // Straggler polls are answered with the last in-range tick's state.
-    if (!service_messages(conn, reader, options_.ticks - 1)) return;
+    if (service_messages(options_.ticks - 1) != ServiceResult::kOk) return;
+    heartbeat_if_due(now_ms());
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }

@@ -9,7 +9,17 @@
 //
 // Lifecycle: connect() -> Hello -> per-tick loop {service coordinator
 // messages; scheduled sampling; LocalViolation reports; StatsReport once
-// per updating period} -> Bye -> service polls until Shutdown.
+// per updating period; Heartbeat every heartbeat_interval_ms} -> Bye ->
+// service polls until Shutdown.
+//
+// Resilience: a dead coordinator link (send failure, orderly close, or
+// coordinator_timeout_ms without any inbound traffic — heartbeat acks
+// guarantee traffic on a healthy link) moves the node into DEGRADED mode:
+// it samples locally at the default interval every tick, so no violation
+// window goes unobserved, while reconnecting with capped exponential
+// backoff + jitter. A successful reconnect replays Hello{resume = true};
+// the coordinator reattaches the session and pushes an AllowanceUpdate
+// that resyncs the sampler's error allowance.
 #pragma once
 
 #include <atomic>
@@ -17,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "common/rng.h"
 #include "core/monitor.h"
 #include "core/task.h"
 #include "net/framing.h"
@@ -36,6 +47,13 @@ struct MonitorNodeOptions {
   Tick updating_period{1000};
   int tick_micros{200};      // compressed wall time per tick
   int shutdown_grace_ms{2000};
+  // --- resilience knobs -------------------------------------------------
+  int heartbeat_interval_ms{500};    // liveness beacon cadence
+  int coordinator_timeout_ms{2500};  // inbound silence -> assume dead link
+  int connect_timeout_ms{1000};      // per connect() attempt deadline
+  int reconnect_backoff_ms{50};      // initial backoff between attempts
+  int reconnect_backoff_max_ms{1000};  // backoff cap (doubling, jittered)
+  int max_reconnect_attempts{60};    // consecutive failures before giving up
   /// When non-empty, every sampling observation is appended to this
   /// sample log (storage/sample_log.h) for offline event analysis — the
   /// "sampling data persistence" cost component of Section III-B.
@@ -59,12 +77,26 @@ class MonitorNode {
   std::int64_t forced_ops() const { return monitor_.forced_ops(); }
   std::int64_t local_violations() const { return monitor_.local_violations(); }
   double final_allowance() const { return monitor_.error_allowance(); }
+  /// Successful session resumes after a lost coordinator link.
+  std::int64_t reconnects() const { return reconnects_; }
+  /// Ticks spent sampling locally (default interval) with no coordinator.
+  std::int64_t degraded_ticks() const { return degraded_ticks_; }
+  /// True when reconnection was abandoned (max_reconnect_attempts); the
+  /// node then ran degraded to the end of its ticks.
+  bool coordinator_lost() const { return coordinator_lost_; }
 
  private:
-  /// Handles every buffered coordinator message; returns false on Shutdown
-  /// or lost connection.
-  bool service_messages(TcpConnection& conn, FrameReader& reader, Tick t);
-  bool send(TcpConnection& conn, const Message& m);
+  enum class ServiceResult { kOk, kDisconnected, kShutdown };
+
+  /// Handles every buffered coordinator message.
+  ServiceResult service_messages(Tick t);
+  bool send(const Message& m);
+  /// Connects (with deadline) and sends Hello. True on success.
+  bool try_attach(bool resume);
+  void drop_connection();
+  /// Runs one reconnect attempt when the backoff schedule allows it.
+  void maybe_reconnect(std::int64_t now);
+  void heartbeat_if_due(std::int64_t now);
 
   void log_sample(const Monitor::Outcome& outcome);
 
@@ -72,6 +104,22 @@ class MonitorNode {
   Monitor monitor_;
   std::unique_ptr<SampleLogWriter> sample_log_;
   std::atomic<bool> stop_{false};
+
+  // Connection state (only touched from run()'s thread).
+  TcpConnection conn_;
+  FrameReader reader_;
+  bool connected_{false};
+  bool ever_connected_{false};
+  bool coordinator_lost_{false};
+  std::int64_t last_rx_ms_{0};
+  std::int64_t last_heartbeat_ms_{0};
+  std::uint64_t heartbeat_seq_{0};
+  int backoff_ms_{0};
+  std::int64_t next_attempt_ms_{0};
+  int failed_attempts_{0};
+  std::int64_t reconnects_{0};
+  std::int64_t degraded_ticks_{0};
+  Rng jitter_rng_;
 };
 
 }  // namespace volley::net

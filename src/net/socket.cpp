@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -47,7 +48,7 @@ void FileDescriptor::reset(int fd) {
 }
 
 TcpConnection TcpConnection::connect(const std::string& host,
-                                     std::uint16_t port) {
+                                     std::uint16_t port, int timeout_ms) {
   FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   sockaddr_in addr{};
@@ -57,13 +58,45 @@ TcpConnection TcpConnection::connect(const std::string& host,
     errno = EINVAL;
     throw_errno("inet_pton");
   }
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    throw_errno("connect");
+  // Non-blocking connect so a dead host fails at our deadline, not the
+  // kernel's (which defaults to minutes of SYN retries).
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(F_SETFL)");
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) throw_errno("poll(connect)");
+    if (ready == 0) {
+      errno = ETIMEDOUT;
+      throw_errno("connect");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+      throw_errno("getsockopt(SO_ERROR)");
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
   }
+  if (::fcntl(fd.get(), F_SETFL, flags) < 0) throw_errno("fcntl(F_SETFL)");
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpConnection(std::move(fd));
+}
+
+std::optional<TcpConnection> TcpConnection::try_connect(
+    const std::string& host, std::uint16_t port, int timeout_ms) {
+  try {
+    return connect(host, port, timeout_ms);
+  } catch (const std::system_error&) {
+    return std::nullopt;
+  }
 }
 
 bool TcpConnection::send_all(std::span<const std::byte> data) {
@@ -120,6 +153,13 @@ TcpListener::TcpListener(std::uint16_t port) {
     throw_errno("getsockname");
   }
   port_ = ntohs(addr.sin_port);
+}
+
+void TcpListener::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.get(), F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
 }
 
 std::optional<TcpConnection> TcpListener::accept() {

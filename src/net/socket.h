@@ -42,7 +42,17 @@ class TcpConnection {
   explicit TcpConnection(FileDescriptor fd) : fd_(std::move(fd)) {}
 
   /// Connects to host:port (throws std::system_error on failure).
-  static TcpConnection connect(const std::string& host, std::uint16_t port);
+  /// `timeout_ms` bounds the connect itself (non-blocking connect + poll);
+  /// < 0 waits for the kernel default, which can be minutes against a dead
+  /// host — pass a deadline anywhere responsiveness matters.
+  static TcpConnection connect(const std::string& host, std::uint16_t port,
+                               int timeout_ms = -1);
+
+  /// Non-throwing connect for retry loops: nullopt on refusal, timeout, or
+  /// any other failure.
+  static std::optional<TcpConnection> try_connect(const std::string& host,
+                                                  std::uint16_t port,
+                                                  int timeout_ms);
 
   /// Sends the whole buffer (blocking). Returns false on broken peer.
   bool send_all(std::span<const std::byte> data);
@@ -66,8 +76,11 @@ class TcpListener {
   /// Binds and listens; port 0 picks a free port (see `port()`).
   explicit TcpListener(std::uint16_t port);
 
-  /// Accepts one connection (blocking). nullopt on EINTR/shutdown.
+  /// Accepts one connection (blocking). nullopt on EINTR/shutdown — or on
+  /// an empty backlog when the listener is non-blocking.
   std::optional<TcpConnection> accept();
+
+  void set_nonblocking(bool enabled);
 
   std::uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }

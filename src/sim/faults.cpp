@@ -1,5 +1,6 @@
 #include "sim/faults.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -15,9 +16,39 @@ void FaultPlan::validate() const {
   if (poll_response_loss < 0.0 || poll_response_loss >= 1.0)
     throw std::invalid_argument("FaultPlan: response loss in [0,1)");
   for (const auto& outage : outages) {
-    if (outage.start < 0 || outage.end < outage.start)
+    if (outage.start < 0 || outage.end <= outage.start)
       throw std::invalid_argument("FaultPlan: bad outage window");
   }
+  // Overlapping windows for one monitor are almost certainly a plan bug
+  // (double-counted outage ticks); reject them.
+  auto sorted = outages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MonitorOutage& a, const MonitorOutage& b) {
+              return a.monitor != b.monitor ? a.monitor < b.monitor
+                                            : a.start < b.start;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].monitor == sorted[i - 1].monitor &&
+        sorted[i].start < sorted[i - 1].end)
+      throw std::invalid_argument("FaultPlan: overlapping outage windows");
+  }
+}
+
+void NetFaultPlan::validate() const {
+  message_loss.validate();
+  if (heartbeat_loss < 0.0 || heartbeat_loss >= 1.0)
+    throw std::invalid_argument("NetFaultPlan: heartbeat loss in [0,1)");
+  if (delay_prob < 0.0 || delay_prob > 1.0)
+    throw std::invalid_argument("NetFaultPlan: delay_prob in [0,1]");
+  if (delay_prob > 0.0 && delay_ms <= 0)
+    throw std::invalid_argument("NetFaultPlan: delay_ms > 0 when delaying");
+  if (partial_write_prob < 0.0 || partial_write_prob > 1.0)
+    throw std::invalid_argument("NetFaultPlan: partial_write_prob in [0,1]");
+  if (disconnect_after_frames == 0)
+    throw std::invalid_argument(
+        "NetFaultPlan: disconnect_after_frames > 0 (or -1 to disable)");
+  if (max_disconnects < 0)
+    throw std::invalid_argument("NetFaultPlan: max_disconnects >= 0");
 }
 
 namespace {

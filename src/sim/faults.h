@@ -41,6 +41,35 @@ struct FaultPlan {
   std::vector<MonitorOutage> outages;
   std::uint64_t seed{99};
 
+  /// Throws std::invalid_argument on probabilities outside [0,1) and on
+  /// inverted/empty (`end <= start`) or overlapping same-monitor outage
+  /// windows.
+  void validate() const;
+};
+
+/// Fault plan for the *wire* runtime (net/chaos_proxy.h): the same message
+/// semantics as FaultPlan, applied per decoded frame by a chaos proxy
+/// interposed on the TCP path, plus the transport-level faults a simulator
+/// tick loop cannot express (delay, partial writes, mid-stream disconnects).
+///
+/// Mapping onto FaultPlan: `message_loss.violation_report_loss` drops
+/// LocalViolation frames (monitor->coordinator) and
+/// `message_loss.poll_response_loss` drops PollResponse frames, each with
+/// the same independent-Bernoulli semantics the simulator uses;
+/// `message_loss.outages` are ignored — real outages are produced by
+/// killing nodes or cutting connections (`disconnect_after_frames`).
+struct NetFaultPlan {
+  FaultPlan message_loss;        // frame-type-targeted drop probabilities
+  double heartbeat_loss{0.0};    // drop Heartbeat/HeartbeatAck frames, [0,1)
+  double delay_prob{0.0};        // hold a surviving frame for delay_ms
+  int delay_ms{0};
+  double partial_write_prob{0.0};  // forward a frame in two delayed chunks
+  /// Cut the proxied connection (both sides) after this many forwarded
+  /// frames; -1 = never. Applies per accepted connection, so a reconnecting
+  /// monitor can be cut repeatedly (bounded by max_disconnects).
+  std::int64_t disconnect_after_frames{-1};
+  int max_disconnects{0};  // total mid-stream cuts across the proxy's life
+
   void validate() const;
 };
 

@@ -1,0 +1,102 @@
+// volley_chaos — a fault-injecting TCP proxy between volleyd monitors and a
+// volleyd_coordinator (src/net/chaos_proxy.h).
+//
+//   volleyd_coordinator monitors=2 port=7601 &
+//   volley_chaos listen=7700 upstream_port=7601 report_loss=0.2 \
+//                delay_prob=0.1 delay_ms=40 cut_after=500 max_cuts=2 &
+//   volleyd_monitor id=0 port=7700 ... &
+//   volleyd_monitor id=1 port=7700 ...
+//
+// Monitors dial the proxy instead of the coordinator; the proxy forwards
+// whole protocol frames and injects drops, delays, partial writes, and
+// mid-stream disconnects from a seeded plan. Ctrl-C stops the proxy and
+// prints the injection accounting.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "net/chaos_proxy.h"
+
+namespace {
+volley::net::ChaosProxy* g_proxy = nullptr;
+
+void handle_signal(int) {
+  if (g_proxy) g_proxy->request_stop();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace volley;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Config config;
+  try {
+    config = Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return 2;
+  }
+  if (config.has("help")) {
+    std::printf(
+        "usage: volley_chaos upstream_port=P [listen=P] [upstream_host=H]\n"
+        "         [report_loss=R] [response_loss=R] [heartbeat_loss=R]\n"
+        "         [delay_prob=R] [delay_ms=MS] [partial_prob=R]\n"
+        "         [cut_after=FRAMES] [max_cuts=N] [seed=S]\n");
+    return 0;
+  }
+
+  try {
+    net::ChaosProxyOptions options;
+    options.listen_port =
+        static_cast<std::uint16_t>(config.get_int("listen", 0));
+    options.upstream_host = config.get_string("upstream_host", "127.0.0.1");
+    options.upstream_port =
+        static_cast<std::uint16_t>(config.get_int("upstream_port", 0));
+    options.plan.message_loss.violation_report_loss =
+        config.get_double("report_loss", 0.0);
+    options.plan.message_loss.poll_response_loss =
+        config.get_double("response_loss", 0.0);
+    options.plan.message_loss.seed =
+        static_cast<std::uint64_t>(config.get_int("seed", 99));
+    options.plan.heartbeat_loss = config.get_double("heartbeat_loss", 0.0);
+    options.plan.delay_prob = config.get_double("delay_prob", 0.0);
+    options.plan.delay_ms = static_cast<int>(config.get_int("delay_ms", 0));
+    options.plan.partial_write_prob = config.get_double("partial_prob", 0.0);
+    options.plan.disconnect_after_frames = config.get_int("cut_after", -1);
+    options.plan.max_disconnects =
+        static_cast<int>(config.get_int("max_cuts", 0));
+
+    net::ChaosProxy proxy(options);
+    g_proxy = &proxy;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("volley_chaos: 127.0.0.1:%u -> %s:%u (report_loss=%.2f "
+                "response_loss=%.2f delay=%.2f/%dms cut_after=%lld)\n",
+                proxy.port(), options.upstream_host.c_str(),
+                options.upstream_port,
+                options.plan.message_loss.violation_report_loss,
+                options.plan.message_loss.poll_response_loss,
+                options.plan.delay_prob, options.plan.delay_ms,
+                static_cast<long long>(options.plan.disconnect_after_frames));
+    std::fflush(stdout);
+    proxy.run();
+
+    const auto& stats = proxy.stats();
+    std::printf("volley_chaos: %lld connections, %lld frames forwarded, "
+                "%lld violations + %lld responses + %lld heartbeats "
+                "dropped, %lld delayed, %lld partial, %lld cuts\n",
+                static_cast<long long>(stats.connections),
+                static_cast<long long>(stats.forwarded_frames),
+                static_cast<long long>(stats.dropped_violations),
+                static_cast<long long>(stats.dropped_responses),
+                static_cast<long long>(stats.dropped_heartbeats),
+                static_cast<long long>(stats.delayed_frames),
+                static_cast<long long>(stats.partial_writes),
+                static_cast<long long>(stats.disconnects));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volley_chaos: %s\n", e.what());
+    return 1;
+  }
+}

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   if (config.has("help")) {
     std::printf("usage: volleyd_coordinator monitors=N [port=P] "
                 "[threshold=T] [err=E] [allocation=adaptive|even] "
-                "[poll_timeout_ms=MS] [idle_timeout_ms=MS]\n");
+                "[poll_timeout_ms=MS] [idle_timeout_ms=MS] "
+                "[heartbeat_timeout_ms=MS] [staleness_bound_ms=MS]\n");
     return 0;
   }
 
@@ -44,6 +45,10 @@ int main(int argc, char** argv) {
         static_cast<int>(config.get_int("poll_timeout_ms", 1000));
     options.idle_timeout_ms =
         static_cast<int>(config.get_int("idle_timeout_ms", 30000));
+    options.heartbeat_timeout_ms =
+        static_cast<int>(config.get_int("heartbeat_timeout_ms", 2000));
+    options.staleness_bound_ms =
+        static_cast<int>(config.get_int("staleness_bound_ms", 6000));
 
     net::CoordinatorNode node(options);
     std::printf("volleyd_coordinator: listening on 127.0.0.1:%u for %zu "
@@ -66,6 +71,17 @@ int main(int argc, char** argv) {
     for (const auto& [id, ops] : node.reported_ops()) {
       std::printf("  monitor %u: %lld sampling ops\n", id,
                   static_cast<long long>(ops));
+    }
+    const auto& faults = node.fault_stats();
+    if (faults.suspected > 0 || faults.stale_polls > 0 ||
+        faults.reconnects > 0) {
+      std::printf("  faults: %lld suspected, %lld dead, %lld reconnects, "
+                  "%lld stale polls, %lld allowance reclaims\n",
+                  static_cast<long long>(faults.suspected),
+                  static_cast<long long>(faults.declared_dead),
+                  static_cast<long long>(faults.reconnects),
+                  static_cast<long long>(faults.stale_polls),
+                  static_cast<long long>(faults.allowance_reclaims));
     }
     return 0;
   } catch (const std::exception& e) {

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
     std::printf("usage: volleyd_monitor id=I port=P local_threshold=T "
                 "[host=H] [err=E] [ticks=N] [tick_micros=US] [im=IM] "
                 "[patience=P] [gamma=G] [updating_period=N] "
+                "[heartbeat_ms=MS] [coordinator_timeout_ms=MS] "
+                "[backoff_ms=MS] [backoff_max_ms=MS] [max_reconnects=N] "
                 "[log=PATH] source=sine|netflow|sysmetric|http [source params...]\n");
     return 0;
   }
@@ -55,6 +57,16 @@ int main(int argc, char** argv) {
         static_cast<int>(config.get_int("patience", 20));
     options.sampler.slack_ratio = config.get_double("gamma", 0.2);
     options.sample_log_path = config.get_string("log", "");
+    options.heartbeat_interval_ms =
+        static_cast<int>(config.get_int("heartbeat_ms", 500));
+    options.coordinator_timeout_ms =
+        static_cast<int>(config.get_int("coordinator_timeout_ms", 2500));
+    options.reconnect_backoff_ms =
+        static_cast<int>(config.get_int("backoff_ms", 50));
+    options.reconnect_backoff_max_ms =
+        static_cast<int>(config.get_int("backoff_max_ms", 1000));
+    options.max_reconnect_attempts =
+        static_cast<int>(config.get_int("max_reconnects", 60));
 
     net::MonitorNode node(options, *source);
     std::printf("volleyd_monitor %u: %lld ticks against %s:%u "
@@ -65,10 +77,14 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     node.run();
     std::printf("volleyd_monitor %u: done — %lld scheduled + %lld forced "
-                "ops, %lld local violations\n",
+                "ops, %lld local violations, %lld reconnects, "
+                "%lld degraded ticks%s\n",
                 options.id, static_cast<long long>(node.scheduled_ops()),
                 static_cast<long long>(node.forced_ops()),
-                static_cast<long long>(node.local_violations()));
+                static_cast<long long>(node.local_violations()),
+                static_cast<long long>(node.reconnects()),
+                static_cast<long long>(node.degraded_ticks()),
+                node.coordinator_lost() ? " (coordinator lost)" : "");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "volleyd_monitor: %s\n", e.what());

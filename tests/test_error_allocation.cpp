@@ -158,6 +158,56 @@ TEST(ClampAndNormalize, NoopWhenAlreadyFeasible) {
   EXPECT_NEAR(out[1], 0.4, 1e-9);
 }
 
+TEST(RedistributeAllowance, ReclaimsDeadShareForSurvivors) {
+  const std::vector<double> current{0.01, 0.01, 0.01};
+  const std::vector<std::size_t> excluded{0};
+  const auto out = redistribute_allowance(0.03, current, excluded);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(out[1], 0.015, 1e-12);
+  EXPECT_NEAR(out[2], 0.015, 1e-12);
+}
+
+TEST(RedistributeAllowance, KeepsSurvivorProportionsAndFloor) {
+  const std::vector<double> current{0.01, 0.018, 0.0, 0.002};
+  const std::vector<std::size_t> excluded{0};
+  const auto out = redistribute_allowance(0.03, current, excluded);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(sum(out), 0.03, 1e-9);
+  // Survivor proportions are nearly preserved (0.018 : 0.002 = 9 : 1; the
+  // floor clamp rescales only the above-floor mass, so the ratio shifts by
+  // a fraction of a percent)...
+  EXPECT_NEAR(out[1] / out[3], 9.0, 0.05);
+  // ...and the zero-share survivor is lifted to the err/100 floor.
+  EXPECT_GE(out[2], 0.03 * 0.01 - 1e-12);
+}
+
+TEST(RedistributeAllowance, AllZeroSurvivorsSplitEvenly) {
+  const std::vector<double> current{0.03, 0.0, 0.0};
+  const std::vector<std::size_t> excluded{0};
+  const auto out = redistribute_allowance(0.03, current, excluded);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_NEAR(out[1], 0.015, 1e-12);
+  EXPECT_NEAR(out[2], 0.015, 1e-12);
+}
+
+TEST(RedistributeAllowance, AllExcludedYieldsZeros) {
+  const std::vector<double> current{0.01, 0.02};
+  const std::vector<std::size_t> excluded{0, 1};
+  const auto out = redistribute_allowance(0.03, current, excluded);
+  ASSERT_EQ(out.size(), 2u);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RedistributeAllowance, NoExclusionRenormalizes) {
+  // A rejoin after a death leaves the vector summing below err; with no
+  // exclusions the call simply rescales everyone back onto the budget.
+  const std::vector<double> current{0.01, 0.005};
+  const auto out = redistribute_allowance(0.03, current, {});
+  EXPECT_NEAR(sum(out), 0.03, 1e-9);
+  EXPECT_NEAR(out[0] / out[1], 2.0, 1e-9);
+}
+
 // The paper's worked example (Section IV-B): moving allowance toward the
 // monitor that can absorb frequent violations increases total cost
 // reduction — the allocator must push allowance toward higher yield until

@@ -45,6 +45,49 @@ TEST(FaultPlan, Validation) {
   EXPECT_THROW(plan.validate(), std::invalid_argument);
 }
 
+TEST(FaultPlan, RejectsEmptyAndOverlappingOutageWindows) {
+  FaultPlan plan;
+  plan.outages.push_back(MonitorOutage{0, 10, 10});  // empty: end == start
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = FaultPlan{};
+  plan.outages.push_back(MonitorOutage{0, 0, 100});
+  plan.outages.push_back(MonitorOutage{0, 50, 150});  // overlaps the first
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  // Order in the plan must not matter: the same overlap listed backwards.
+  plan = FaultPlan{};
+  plan.outages.push_back(MonitorOutage{0, 50, 150});
+  plan.outages.push_back(MonitorOutage{0, 0, 100});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  // Back-to-back windows (end is exclusive) and overlaps across *different*
+  // monitors are both legitimate plans.
+  plan = FaultPlan{};
+  plan.outages.push_back(MonitorOutage{0, 0, 100});
+  plan.outages.push_back(MonitorOutage{0, 100, 150});
+  plan.outages.push_back(MonitorOutage{1, 50, 150});
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(NetFaultPlan, Validation) {
+  NetFaultPlan plan;
+  EXPECT_NO_THROW(plan.validate());
+  plan.heartbeat_loss = 1.0;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = NetFaultPlan{};
+  plan.delay_prob = 0.5;  // delaying with delay_ms == 0 makes no sense
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.delay_ms = 20;
+  EXPECT_NO_THROW(plan.validate());
+  plan = NetFaultPlan{};
+  plan.disconnect_after_frames = 0;  // -1 disables, positive counts frames
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan = NetFaultPlan{};
+  plan.message_loss.violation_report_loss = 1.5;  // nested plan is checked
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
 TEST(FaultyRun, NoFaultsMatchesHealthyDetection) {
   std::vector<TimeSeries> series{
       noisy_series(4000, 1, 0.1, 2000, 5.0, 60),

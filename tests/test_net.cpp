@@ -1,11 +1,17 @@
 // Tests for the wire runtime: framing, message codec round-trips, socket
-// primitives, and a full coordinator + monitors session over localhost TCP.
+// primitives, full coordinator + monitors sessions over localhost TCP, and
+// the failure model: heartbeat liveness, stale-value poll completion,
+// allowance reclamation, coordinator restart/reconnect, and the chaos proxy.
 #include <gtest/gtest.h>
 
+#include <poll.h>
+
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "core/metric_source.h"
+#include "net/chaos_proxy.h"
 #include "net/coordinator_node.h"
 #include "net/framing.h"
 #include "net/messages.h"
@@ -17,6 +23,8 @@ namespace {
 
 using net::AllowanceUpdate;
 using net::Bye;
+using net::Heartbeat;
+using net::HeartbeatAck;
 using net::Hello;
 using net::LocalViolation;
 using net::Message;
@@ -104,6 +112,21 @@ T round_trip(const T& in) {
 TEST(Messages, HelloRoundTrip) {
   const auto out = round_trip(Hello{42});
   EXPECT_EQ(out.monitor, 42u);
+  EXPECT_FALSE(out.resume);
+}
+
+TEST(Messages, HelloResumeRoundTrip) {
+  const auto out = round_trip(Hello{42, true});
+  EXPECT_EQ(out.monitor, 42u);
+  EXPECT_TRUE(out.resume);
+}
+
+TEST(Messages, HeartbeatRoundTrips) {
+  const auto beat = round_trip(Heartbeat{9, 123456789u});
+  EXPECT_EQ(beat.monitor, 9u);
+  EXPECT_EQ(beat.seq, 123456789u);
+  const auto ack = round_trip(HeartbeatAck{123456789u});
+  EXPECT_EQ(ack.seq, 123456789u);
 }
 
 TEST(Messages, LocalViolationRoundTrip) {
@@ -176,6 +199,44 @@ TEST(Socket, ConnectToClosedPortThrows) {
   }  // listener closed
   EXPECT_THROW(TcpConnection::connect("127.0.0.1", dead_port),
                std::system_error);
+}
+
+TEST(Socket, ConnectTimeoutIsBounded) {
+  // A listener that never accepts: once its accept backlog (64) is full the
+  // kernel stops answering SYNs, so a deadline-less connect would sit in
+  // SYN retransmission for minutes. With timeout_ms set, the attempt must
+  // fail on the deadline instead (or immediately, on stacks that RST).
+  TcpListener listener(0);
+  std::vector<TcpConnection> filler;
+  bool failed = false;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    for (int i = 0; i < 100; ++i) {
+      filler.push_back(
+          TcpConnection::connect("127.0.0.1", listener.port(), 250));
+    }
+  } catch (const std::system_error&) {
+    failed = true;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(failed);
+  EXPECT_LT(elapsed.count(), 10000);
+}
+
+TEST(Socket, TryConnectReportsFailureWithoutThrowing) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }  // listener closed
+  EXPECT_FALSE(
+      TcpConnection::try_connect("127.0.0.1", dead_port, 200).has_value());
+  TcpListener listener(0);
+  const auto conn =
+      TcpConnection::try_connect("127.0.0.1", listener.port(), 200);
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_TRUE(conn->valid());
 }
 
 TEST(Socket, NonblockingRecvReturnsNulloptWhenIdle) {
@@ -282,6 +343,373 @@ TEST(NetIntegration, AllowanceReallocationHappens) {
   ct.join();
 
   EXPECT_GT(coordinator.reallocations(), 0);
+}
+
+// --- failure model -------------------------------------------------------
+//
+// The scripted scenarios below drive the coordinator with FakeMonitor — a
+// synchronous protocol client controlled from the test thread — so the
+// exact timing of deaths, silences, and responses is deterministic.
+
+class FakeMonitor {
+ public:
+  FakeMonitor(std::uint16_t port, MonitorId id, bool resume = false)
+      : conn_(TcpConnection::connect("127.0.0.1", port, 2000)), id_(id) {
+    send(Hello{id, resume});
+  }
+
+  void send(const Message& message) {
+    EXPECT_TRUE(conn_.send_all(frame_payload(net::encode(message))))
+        << "FakeMonitor " << id_ << ": send failed";
+  }
+
+  void close() { conn_.close(); }
+
+  /// Reads until a message of type T arrives (skipping any other type);
+  /// fails the test and returns T{} on timeout or peer close.
+  template <typename T>
+  T await(int timeout_ms = 2500) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    std::array<std::byte, 4096> buf;
+    for (;;) {
+      while (auto payload = reader_.next()) {
+        const auto message = net::decode(as_bytes(*payload));
+        if (message && std::holds_alternative<T>(*message)) {
+          return std::get<T>(*message);
+        }
+      }
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0) break;
+      pollfd pfd{conn_.fd(), POLLIN, 0};
+      ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const auto n = conn_.recv_some(buf);
+      if (n && *n == 0) {
+        ADD_FAILURE() << "FakeMonitor " << id_ << ": peer closed while "
+                      << "awaiting a message";
+        return T{};
+      }
+      if (n && *n > 0) {
+        reader_.feed(std::span<const std::byte>(buf.data(), *n));
+      }
+    }
+    ADD_FAILURE() << "FakeMonitor " << id_ << ": timed out awaiting message";
+    return T{};
+  }
+
+ private:
+  TcpConnection conn_;
+  FrameReader reader_;
+  MonitorId id_;
+};
+
+// Scenario: a monitor dies mid-poll. The in-flight poll must complete with
+// the dead monitor's last known value (the simulator's poll_response_loss
+// fallback), and past the staleness bound the monitor is declared dead, its
+// allowance reclaimed for the survivors, and aggregation continues without
+// it.
+TEST(NetFaults, MonitorDeathStalePollThenAllowanceReclaim) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 3;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.03;
+  copt.poll_timeout_ms = 3000;
+  copt.heartbeat_timeout_ms = 3000;  // deaths come from EOF, not silence
+  copt.staleness_bound_ms = 250;
+  copt.idle_timeout_ms = 10000;
+  net::CoordinatorNode coordinator(copt);
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+
+  FakeMonitor f0(coordinator.port(), 0);
+  FakeMonitor f1(coordinator.port(), 1);
+  FakeMonitor f2(coordinator.port(), 2);
+
+  // Poll 1: all three answer; monitor 0 carries the violation.
+  f0.send(LocalViolation{0, 5, 12.0});
+  auto poll = f0.await<PollRequest>();
+  f0.send(PollResponse{0, poll.poll_id, 5, 20.0});
+  poll = f1.await<PollRequest>();
+  f1.send(PollResponse{1, poll.poll_id, 5, 1.0});
+  poll = f2.await<PollRequest>();
+  f2.send(PollResponse{2, poll.poll_id, 5, 1.0});
+
+  // Poll 2: monitor 0 reports a violation, then dies before answering.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  f0.send(LocalViolation{0, 10, 12.0});
+  f0.close();
+  poll = f1.await<PollRequest>();
+  f1.send(PollResponse{1, poll.poll_id, 10, 1.0});
+  poll = f2.await<PollRequest>();
+  f2.send(PollResponse{2, poll.poll_id, 10, 1.0});
+
+  // Past the staleness bound the dead monitor's allowance is reclaimed:
+  // survivors get pushed their rescaled share (0.03/2 each, from 0.03/3).
+  const auto update1 = f1.await<AllowanceUpdate>();
+  EXPECT_NEAR(update1.error_allowance, 0.015, 1e-9);
+  const auto update2 = f2.await<AllowanceUpdate>();
+  EXPECT_NEAR(update2.error_allowance, 0.015, 1e-9);
+
+  // Poll 3: the survivors alone cross T; the dead monitor is excluded.
+  f1.send(LocalViolation{1, 20, 8.0});
+  poll = f1.await<PollRequest>();
+  f1.send(PollResponse{1, poll.poll_id, 20, 8.0});
+  poll = f2.await<PollRequest>();
+  f2.send(PollResponse{2, poll.poll_id, 20, 5.0});
+
+  f1.send(Bye{1, 50, 5});
+  f2.send(Bye{2, 60, 6});
+  f1.await<Shutdown>();
+  f2.await<Shutdown>();
+  coord_thread.join();
+
+  EXPECT_EQ(coordinator.global_polls(), 3);
+  ASSERT_EQ(coordinator.alerts().size(), 3u);
+  EXPECT_NEAR(coordinator.alerts()[0].value, 22.0, 1e-9);
+  // Poll 2 settled with monitor 0's last known value: 1 + 1 + stale 20.
+  EXPECT_NEAR(coordinator.alerts()[1].value, 22.0, 1e-9);
+  // Poll 3 excluded the dead monitor entirely: 8 + 5.
+  EXPECT_NEAR(coordinator.alerts()[2].value, 13.0, 1e-9);
+
+  const auto& faults = coordinator.fault_stats();
+  EXPECT_EQ(faults.stale_polls, 1);
+  EXPECT_EQ(faults.stale_values, 1);
+  EXPECT_GE(faults.suspected, 1);
+  EXPECT_EQ(faults.declared_dead, 1);
+  EXPECT_GE(faults.allowance_reclaims, 1);
+  EXPECT_EQ(coordinator.reported_ops().size(), 2u);  // survivors' Byes only
+}
+
+// Scenario: the coordinator crashes mid-run (request_stop drops the
+// connections without a Shutdown) and a successor comes up on the same
+// port. The monitor must ride it out in degraded mode, reconnect with
+// backoff, resync via Hello{resume}, and complete the session.
+TEST(NetFaults, CoordinatorRestartMonitorReconnectsAndResumes) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 1;
+  copt.global_threshold = 100.0;
+  copt.error_allowance = 0.02;
+  auto first = std::make_unique<net::CoordinatorNode>(copt);
+  const std::uint16_t port = first->port();
+  std::thread first_thread([&first] { first->run(); });
+
+  constexpr Tick kTicks = 1500;
+  CallableSource quiet([](Tick) { return 0.5; }, kTicks);
+  net::MonitorNodeOptions mopt;
+  mopt.id = 0;
+  mopt.coordinator_port = port;
+  mopt.local_threshold = 50.0;
+  mopt.ticks = kTicks;
+  mopt.updating_period = 400;
+  mopt.tick_micros = 400;  // ~600 ms run
+  mopt.heartbeat_interval_ms = 50;
+  mopt.coordinator_timeout_ms = 400;
+  mopt.connect_timeout_ms = 300;
+  mopt.reconnect_backoff_ms = 20;
+  mopt.reconnect_backoff_max_ms = 100;
+  mopt.max_reconnect_attempts = 200;
+  net::MonitorNode monitor(mopt, quiet);
+  std::thread monitor_thread([&monitor] { monitor.run(); });
+
+  // Crash the first coordinator mid-run; leave a gap with no listener so
+  // the monitor provably runs degraded and retries with backoff.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  first->request_stop();
+  first_thread.join();
+  first.reset();  // closes listener + connection: the monitor sees EOF
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  copt.port = port;
+  net::CoordinatorNode successor(copt);
+  std::thread successor_thread([&successor] { successor.run(); });
+
+  monitor_thread.join();
+  successor_thread.join();
+
+  EXPECT_GE(monitor.reconnects(), 1);
+  EXPECT_GT(monitor.degraded_ticks(), 0);
+  EXPECT_FALSE(monitor.coordinator_lost());
+  // The successor saw the resumed session through to its Bye.
+  EXPECT_EQ(successor.reported_ops().size(), 1u);
+  EXPECT_GE(successor.fault_stats().reconnects, 1);
+}
+
+// poll_timeout_ms: a poll blocked on a live-but-unresponsive monitor must
+// settle with the responses that arrived (no last known value -> simply
+// aggregate without the silent monitor).
+TEST(NetFaults, PollTimeoutSettlesWithPartialResponses) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 2;
+  copt.global_threshold = 3.0;
+  copt.error_allowance = 0.02;
+  copt.poll_timeout_ms = 120;
+  copt.heartbeat_timeout_ms = 5000;  // the silent monitor stays "active"
+  copt.staleness_bound_ms = 5000;
+  copt.idle_timeout_ms = 10000;
+  net::CoordinatorNode coordinator(copt);
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+
+  FakeMonitor f0(coordinator.port(), 0);
+  FakeMonitor f1(coordinator.port(), 1);
+  f0.send(LocalViolation{0, 3, 5.0});
+  const auto poll = f0.await<PollRequest>();
+  f0.send(PollResponse{0, poll.poll_id, 3, 5.0});
+  f1.await<PollRequest>();  // received, deliberately never answered
+
+  // Give the poll time to hit poll_timeout_ms, then wind the session down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  f0.send(Bye{0, 10, 1});
+  f1.send(Bye{1, 12, 2});
+  f0.await<Shutdown>();
+  f1.await<Shutdown>();
+  coord_thread.join();
+
+  EXPECT_EQ(coordinator.global_polls(), 1);
+  ASSERT_EQ(coordinator.alerts().size(), 1u);
+  EXPECT_NEAR(coordinator.alerts()[0].value, 5.0, 1e-9);
+  // The non-responder had no last known value, so nothing was stale.
+  EXPECT_EQ(coordinator.fault_stats().stale_polls, 0);
+}
+
+// idle_timeout_ms: a session that goes fully silent (here: one of two
+// monitors joins, then nothing) must abort instead of hanging forever.
+TEST(NetFaults, IdleTimeoutAbortsSilentSession) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 2;
+  copt.idle_timeout_ms = 150;
+  copt.heartbeat_timeout_ms = 10000;
+  copt.staleness_bound_ms = 10000;
+  net::CoordinatorNode coordinator(copt);
+  const auto start = std::chrono::steady_clock::now();
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  FakeMonitor f0(coordinator.port(), 0);  // joins, then never speaks again
+  coord_thread.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_TRUE(coordinator.reported_ops().empty());
+}
+
+// Chaos proxy, transport fault: a mid-stream cut after N frames. The
+// monitor must notice the dead link, reconnect through the proxy, resume
+// its session, and still deliver its Bye.
+TEST(NetFaults, ChaosProxyCutForcesReconnect) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 1;
+  copt.global_threshold = 100.0;
+  copt.error_allowance = 0.02;
+  copt.heartbeat_timeout_ms = 1500;
+  copt.staleness_bound_ms = 6000;
+  net::CoordinatorNode coordinator(copt);
+
+  net::ChaosProxyOptions popt;
+  popt.upstream_port = coordinator.port();
+  popt.plan.disconnect_after_frames = 40;
+  popt.plan.max_disconnects = 1;
+  net::ChaosProxy proxy(popt);
+
+  constexpr Tick kTicks = 2000;
+  CallableSource quiet([](Tick) { return 0.5; }, kTicks);
+  net::MonitorNodeOptions mopt;
+  mopt.id = 0;
+  mopt.coordinator_port = proxy.port();
+  mopt.local_threshold = 50.0;
+  mopt.ticks = kTicks;
+  mopt.updating_period = 500;
+  mopt.tick_micros = 400;           // ~800 ms run
+  mopt.heartbeat_interval_ms = 10;  // frames flow fast: the cut lands early
+  mopt.coordinator_timeout_ms = 500;
+  mopt.connect_timeout_ms = 300;
+  mopt.reconnect_backoff_ms = 20;
+  mopt.reconnect_backoff_max_ms = 100;
+  net::MonitorNode monitor(mopt, quiet);
+
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  std::thread proxy_thread([&proxy] { proxy.run(); });
+  std::thread monitor_thread([&monitor] { monitor.run(); });
+  monitor_thread.join();
+  coord_thread.join();
+  proxy.request_stop();
+  proxy_thread.join();
+
+  EXPECT_EQ(proxy.stats().disconnects, 1);
+  EXPECT_GE(monitor.reconnects(), 1);
+  EXPECT_FALSE(monitor.coordinator_lost());
+  EXPECT_GE(coordinator.fault_stats().reconnects, 1);
+  EXPECT_EQ(coordinator.reported_ops().size(), 1u);
+}
+
+// Chaos proxy, message faults: seeded frame drops, delays, and partial
+// writes on every link. A sustained violation must still be detected (the
+// stale-value fallback and repeated reports absorb the losses), and the
+// session must complete for all monitors.
+TEST(NetFaults, ChaosProxyLossyLinkStillDetects) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 2;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.03;
+  copt.poll_timeout_ms = 80;
+  copt.heartbeat_timeout_ms = 1000;
+  copt.staleness_bound_ms = 6000;
+  net::CoordinatorNode coordinator(copt);
+
+  net::ChaosProxyOptions popt;
+  popt.upstream_port = coordinator.port();
+  popt.plan.message_loss.violation_report_loss = 0.25;
+  popt.plan.message_loss.poll_response_loss = 0.15;
+  popt.plan.message_loss.seed = 7;
+  popt.plan.heartbeat_loss = 0.2;
+  popt.plan.delay_prob = 0.2;
+  popt.plan.delay_ms = 10;
+  popt.plan.partial_write_prob = 0.2;
+  net::ChaosProxy proxy(popt);
+
+  constexpr Tick kTicks = 1500;
+  CallableSource spiky(
+      [](Tick t) { return (t >= 400 && t < 1200) ? 30.0 : 0.5; }, kTicks);
+  CallableSource quiet([](Tick) { return 0.5; }, kTicks);
+
+  std::vector<std::unique_ptr<net::MonitorNode>> nodes;
+  for (MonitorId id = 0; id < 2; ++id) {
+    net::MonitorNodeOptions mopt;
+    mopt.id = id;
+    mopt.coordinator_port = proxy.port();
+    mopt.local_threshold = 5.0;
+    mopt.ticks = kTicks;
+    mopt.updating_period = 500;
+    mopt.tick_micros = 400;  // violation window ~320 ms: several polls
+    mopt.heartbeat_interval_ms = 50;
+    mopt.coordinator_timeout_ms = 600;
+    mopt.connect_timeout_ms = 300;
+    mopt.reconnect_backoff_ms = 20;
+    mopt.reconnect_backoff_max_ms = 100;
+    nodes.push_back(std::make_unique<net::MonitorNode>(
+        mopt, id == 0 ? static_cast<const MetricSource&>(spiky) : quiet));
+  }
+
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  std::thread proxy_thread([&proxy] { proxy.run(); });
+  std::vector<std::thread> monitor_threads;
+  for (auto& node : nodes) {
+    monitor_threads.emplace_back([&node] { node->run(); });
+  }
+  for (auto& t : monitor_threads) t.join();
+  coord_thread.join();
+  proxy.request_stop();
+  proxy_thread.join();
+
+  EXPECT_GT(coordinator.global_polls(), 0);
+  EXPECT_FALSE(coordinator.alerts().empty());
+  EXPECT_EQ(coordinator.reported_ops().size(), 2u);
+  const auto& stats = proxy.stats();
+  EXPECT_GT(stats.forwarded_frames, 0);
+  EXPECT_GT(stats.dropped_violations + stats.dropped_responses +
+                stats.dropped_heartbeats,
+            0);
+  EXPECT_GT(stats.delayed_frames + stats.partial_writes, 0);
 }
 
 }  // namespace
