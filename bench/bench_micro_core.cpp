@@ -2,7 +2,9 @@
 // estimation adds negligible overhead compared to sampling itself
 // (Section III-B "cost of the dynamic sampling algorithm"). google-benchmark
 // binary: reports ns/op for the estimator, the full sampler step, the online
-// statistics update and the coordinator's allocation step.
+// statistics update, the coordinator's allocation step, and the obs/
+// instrumentation primitives (which ride on every one of the above, so
+// their cost must stay orders of magnitude below a sampling operation).
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -11,6 +13,8 @@
 #include "core/adaptive_sampler.h"
 #include "core/error_allocation.h"
 #include "core/likelihood.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
 #include "stats/online_stats.h"
 
 namespace volley {
@@ -78,6 +82,41 @@ void BM_AdaptiveAllocation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdaptiveAllocation)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_CounterInc(benchmark::State& state) {
+  // The cached-handle pattern every instrumentation point uses: registration
+  // once, then one relaxed atomic add per event.
+  obs::MetricsRegistry registry;
+  auto& counter = registry.counter("bench_events_total");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  auto& hist = registry.histogram("bench_interval_ticks", 0.0, 64.0, 64);
+  double x = 0.0;
+  for (auto _ : state) {
+    hist.observe(x);
+    x += 0.37;
+    if (x >= 64.0) x = 0.0;
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceRecord(benchmark::State& state) {
+  obs::TraceSink sink;  // default 4096-event ring, steady-state overwrite
+  Tick t = 0;
+  for (auto _ : state) {
+    sink.record(obs::TraceKind::kSampleTaken, t++, 1, 0.5);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_TraceRecord);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(800, 1.0);

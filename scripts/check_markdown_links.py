@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Check markdown files for broken relative links and anchors.
+
+Usage: check_markdown_links.py FILE [FILE...]
+
+Verifies, for every inline markdown link `[text](target)`:
+  * http(s)/mailto targets are skipped (no network access in CI);
+  * a relative path target resolves to an existing file or directory
+    (relative to the linking file's own directory);
+  * a `#fragment` on a markdown target (or a bare `#fragment`) matches a
+    heading in the target file, using GitHub's anchor slug rules.
+
+Also flags reference-style link usages `[text][label]` whose label is
+never defined. Exits 1 with one line per problem, 0 when clean.
+
+Stdlib only — the CI image needs nothing beyond python3.
+"""
+
+import re
+import sys
+import urllib.parse
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_USE = re.compile(r"(?<!\!)\[(?P<text>[^\]]+)\]\[(?P<label>[^\]]*)\]")
+REF_DEF = re.compile(r"^\s*\[(?P<label>[^\]]+)\]:\s+\S+", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"^(```|~~~).*?^\1", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor rule: lowercase, drop punctuation,
+    spaces to hyphens. Inline code/emphasis markers are stripped first."""
+    title = re.sub(r"[`*_]", "", title)
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # linked headings
+    slug = []
+    for ch in title.lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in " -":
+            slug.append("-" if ch == " " else ch)
+        # everything else (punctuation) is dropped
+    return "".join(slug)
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = strip_code(path.read_text(encoding="utf-8"))
+    seen: dict[str, int] = {}
+    out = set()
+    for m in HEADING.finditer(text):
+        base = github_slug(m.group("title"))
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        out.add(base if n == 0 else f"{base}-{n}")
+    return out
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced code blocks and inline code so example links like
+    [i] array indexing don't trip the checker."""
+    text = CODE_FENCE.sub("", text)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    problems = []
+    raw = path.read_text(encoding="utf-8")
+    text = strip_code(raw)
+    defined_labels = {m.group("label").lower() for m in REF_DEF.finditer(raw)}
+
+    for m in INLINE_LINK.finditer(text):
+        target = m.group("target")
+        scheme = urllib.parse.urlparse(target).scheme
+        if scheme in ("http", "https", "mailto"):
+            continue
+        frag = ""
+        if "#" in target:
+            target, frag = target.split("#", 1)
+        dest = path if not target else (path.parent / urllib.parse.unquote(target)).resolve()
+        if target and not dest.exists():
+            problems.append(f"{path}: broken link [{m.group('text')}]({m.group('target')}) — {dest} does not exist")
+            continue
+        if frag and dest.suffix == ".md":
+            if dest not in anchor_cache:
+                anchor_cache[dest] = anchors_of(dest)
+            if frag.lower() not in anchor_cache[dest]:
+                problems.append(f"{path}: dead anchor [{m.group('text')}]({m.group('target')}) — no such heading in {dest.name}")
+
+    for m in REF_USE.finditer(text):
+        label = (m.group("label") or m.group("text")).lower()
+        if label not in defined_labels:
+            problems.append(f"{path}: undefined reference link [{m.group('text')}][{m.group('label')}]")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    anchor_cache: dict[Path, set[str]] = {}
+    problems = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        problems.extend(check_file(path, anchor_cache))
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"ok: {len(argv) - 1} file(s), no broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

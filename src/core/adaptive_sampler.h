@@ -21,6 +21,15 @@
 //                          (zero when already at Im — no growth possible);
 //   e_i = beta / (1-gamma) error allowance that growth would require
 //                          (inverts the increase rule above).
+//
+// Units: values/thresholds are in the monitored metric's unit; intervals
+// are integer multiples of Id (Tick); err, gamma, beta are dimensionless
+// probabilities in [0, 1].
+//
+// Thread-safety: none — one sampler per monitor, driven from one thread.
+// Every observe() also feeds the process-global obs/ registry (counters
+// volley_sampler_*, histograms of chosen interval and beta bound); those
+// instruments are thread-safe, so concurrent monitors can share them.
 #pragma once
 
 #include <cstdint>

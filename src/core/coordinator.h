@@ -9,6 +9,16 @@
 //  * once per updating period (paper: 1000 Id), collect the averaged
 //    r_i / e_i statistics from all monitors and reallocate the task-level
 //    error allowance via the configured AllowanceAllocator.
+//
+// Units: ticks are multiples of the task's default interval Id; threshold
+// and aggregate values are in the monitored metric's unit; allowances are
+// probabilities in [0, 1] summing to the task's err.
+//
+// Thread-safety: none. A Coordinator and its monitors form one single-
+// threaded tick loop; run concurrent tasks as separate Coordinator
+// instances. Instrumentation (volley_coordinator_* counters, the allowance-
+// share histogram, kAlertRaised / kAllowanceAdjusted trace events) goes to
+// the thread-safe process-global obs/ sinks.
 #pragma once
 
 #include <cstdint>

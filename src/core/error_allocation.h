@@ -20,6 +20,15 @@
 //
 // `EvenAllocation` (the paper's "even" comparison scheme in Figure 8)
 // always splits err uniformly.
+//
+// Units: every allowance (err, err_i, e_i) is a dimensionless probability
+// in [0, 1]; r_i and y_i are dimensionless rates derived from interval
+// counts.
+//
+// Thread-safety: allocators are stateless apart from their Options —
+// allocate() is safe to call from any single thread at a time; the free
+// functions are pure. Reallocation outcomes are observable through the
+// volley_allocation_* counters in the process-global obs/ registry.
 #pragma once
 
 #include <memory>

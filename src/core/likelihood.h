@@ -24,6 +24,14 @@
 // `GaussianLikelihoodEstimator` is the ablation comparator (bench_ablation_
 // estimator): identical interface but assumes delta ~ Normal(mu, sigma),
 // giving much tighter (riskier) per-step probabilities than Chebyshev.
+//
+// Units: values and thresholds are in the monitored metric's own unit
+// (requests/s, % CPU, ...); intervals and gaps are integer multiples of the
+// default sampling interval Id (type Tick); all probabilities/bounds are
+// dimensionless in [0, 1].
+//
+// Thread-safety: none. An estimator belongs to one monitor and is driven
+// from that monitor's sampling loop; confine each instance to one thread.
 #pragma once
 
 #include <cstdint>

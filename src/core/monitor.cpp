@@ -2,7 +2,33 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
+
 namespace volley {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& scheduled;
+  obs::Counter& forced;
+  obs::Counter& violations;
+
+  static MonitorMetrics& get() {
+    auto& m = obs::metrics();
+    static MonitorMetrics handles{
+        m.counter("volley_monitor_scheduled_ops_total",
+                  "Sampling operations on the monitor's own schedule"),
+        m.counter("volley_monitor_forced_ops_total",
+                  "Sampling operations forced by coordinator global polls"),
+        m.counter("volley_monitor_local_violations_total",
+                  "Samples that exceeded the monitor's local threshold T_i"),
+    };
+    return handles;
+  }
+};
+
+}  // namespace
 
 Monitor::Monitor(MonitorId id, const MetricSource& source,
                  const AdaptiveSamplerOptions& options, double local_threshold)
@@ -36,12 +62,22 @@ Monitor::Outcome Monitor::sample_at(Tick t, SampleReason reason) {
   out.reason = reason;
   last_value_ = value;
   last_was_violation_ = out.local_violation;
-  if (out.local_violation) ++local_violations_;
+  auto& om = MonitorMetrics::get();
+  if (out.local_violation) {
+    ++local_violations_;
+    om.violations.inc();
+  }
   if (reason == SampleReason::kScheduled) {
     ++scheduled_ops_;
+    om.scheduled.inc();
   } else {
     ++forced_ops_;
+    om.forced.inc();
   }
+  obs::trace().record(obs::TraceKind::kSampleTaken, t, id_, value,
+                      reason == SampleReason::kScheduled ? 0.0 : 1.0);
+  obs::trace().record(obs::TraceKind::kIntervalChosen, t, id_,
+                      static_cast<double>(interval), sampler_.last_beta());
   return out;
 }
 

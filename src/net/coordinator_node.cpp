@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
 
 namespace volley::net {
 
@@ -15,6 +17,50 @@ std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+struct NetCoordinatorMetrics {
+  obs::Counter& heartbeats;
+  obs::Counter& suspects;
+  obs::Counter& deaths;
+  obs::Counter& recoveries;
+  obs::Counter& stale_polls;
+  obs::Counter& alerts;
+  obs::Counter& stats_requests;
+
+  static NetCoordinatorMetrics& get() {
+    auto& m = obs::metrics();
+    static NetCoordinatorMetrics handles{
+        m.counter("volley_net_heartbeats_total",
+                  "Monitor heartbeats received and acked"),
+        m.counter("volley_net_suspects_total",
+                  "Active -> Suspect liveness transitions"),
+        m.counter("volley_net_deaths_total",
+                  "Suspect -> Dead liveness transitions"),
+        m.counter("volley_net_recoveries_total",
+                  "Suspect/Dead -> Active liveness transitions"),
+        m.counter("volley_net_stale_polls_total",
+                  "Global polls settled with at least one stale value"),
+        m.counter("volley_net_alerts_total",
+                  "State alerts raised by the wire coordinator"),
+        m.counter("volley_net_stats_requests_total",
+                  "StatsRequest introspection queries served"),
+    };
+    return handles;
+  }
+};
+
+/// Liveness states as recorded in kLivenessTransition trace events.
+double liveness_code(MonitorLiveness s) {
+  switch (s) {
+    case MonitorLiveness::kActive:
+      return 0.0;
+    case MonitorLiveness::kSuspect:
+      return 1.0;
+    case MonitorLiveness::kDead:
+      return 2.0;
+  }
+  return -1.0;
 }
 }  // namespace
 
@@ -92,9 +138,15 @@ void CoordinatorNode::finish_poll() {
       ++fault_stats_.stale_values;
     }
   }
-  if (stale) ++fault_stats_.stale_polls;
+  if (stale) {
+    ++fault_stats_.stale_polls;
+    NetCoordinatorMetrics::get().stale_polls.inc();
+  }
   if (sum > options_.global_threshold) {
     alerts_.push_back(GlobalAlert{active_poll_tick_, sum});
+    NetCoordinatorMetrics::get().alerts.inc();
+    obs::trace().record(obs::TraceKind::kAlertRaised, active_poll_tick_, 0,
+                        sum, options_.global_threshold);
   }
   active_poll_.reset();
   poll_values_.clear();
@@ -139,6 +191,10 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
   session.state = MonitorLiveness::kSuspect;
   session.suspect_since_ms = now_ms();
   ++fault_stats_.suspected;
+  NetCoordinatorMetrics::get().suspects.inc();
+  obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
+                      liveness_code(MonitorLiveness::kSuspect),
+                      liveness_code(MonitorLiveness::kActive));
   VLOG_WARN("coordinator", "monitor ", id, " is suspect");
   check_poll_completion();
 }
@@ -146,6 +202,10 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
 void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
   session.state = MonitorLiveness::kDead;
   ++fault_stats_.declared_dead;
+  NetCoordinatorMetrics::get().deaths.inc();
+  obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
+                      liveness_code(MonitorLiveness::kDead),
+                      liveness_code(MonitorLiveness::kSuspect));
   VLOG_WARN("coordinator", "monitor ", id,
             " declared dead; reclaiming its allowance");
   pending_stats_.erase(id);
@@ -177,6 +237,24 @@ void CoordinatorNode::redistribute_and_push() {
     }
   }
   ++fault_stats_.allowance_reclaims;
+}
+
+void CoordinatorNode::serve_stats(TcpConnection& conn,
+                                  const StatsRequest& request) {
+  NetCoordinatorMetrics::get().stats_requests.inc();
+  StatsReply reply;
+  reply.global_polls = global_polls_;
+  reply.reallocations = reallocations_;
+  reply.alerts = static_cast<std::int64_t>(alerts_.size());
+  reply.metrics = (request.flags & StatsRequest::kMetricsJson)
+                      ? obs::metrics().to_json()
+                      : obs::metrics().to_prometheus();
+  if (request.flags & StatsRequest::kIncludeTrace) {
+    // Newest events only: ~120 bytes/line keeps 2048 lines well under the
+    // 1 MiB frame cap even with pathological payloads.
+    reply.trace_jsonl = obs::trace().to_jsonl(2048);
+  }
+  conn.send_all(frame_payload(encode(Message{reply})));
 }
 
 void CoordinatorNode::disconnect_session(MonitorId id, Session& session) {
@@ -222,7 +300,15 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     session.state = MonitorLiveness::kActive;
     session.last_seen_ms = now_ms();
     ++fault_stats_.reconnects;
-    if (was_down) ++fault_stats_.recovered;
+    if (was_down) {
+      ++fault_stats_.recovered;
+      NetCoordinatorMetrics::get().recoveries.inc();
+      obs::trace().record(
+          obs::TraceKind::kLivenessTransition, 0, id,
+          liveness_code(MonitorLiveness::kActive),
+          liveness_code(was_dead ? MonitorLiveness::kDead
+                                 : MonitorLiveness::kSuspect));
+    }
     if (was_dead) {
       // Re-admit: the monitor re-enters at the allowance floor and earns
       // its share back through StatsReports.
@@ -246,9 +332,14 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
     // Any traffic from a suspect proves it alive again.
     session.state = MonitorLiveness::kActive;
     ++fault_stats_.recovered;
+    NetCoordinatorMetrics::get().recoveries.inc();
+    obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
+                        liveness_code(MonitorLiveness::kActive),
+                        liveness_code(MonitorLiveness::kSuspect));
   }
   if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
     ++fault_stats_.heartbeats;
+    NetCoordinatorMetrics::get().heartbeats.inc();
     send_to(id, session, HeartbeatAck{heartbeat->seq});
     return;
   }
@@ -336,6 +427,13 @@ void CoordinatorNode::run() {
             if (const auto* hello = std::get_if<Hello>(&*message)) {
               bind_session(std::move(pending), *hello);
               bound = true;
+              break;
+            }
+            if (const auto* stats = std::get_if<StatsRequest>(&*message)) {
+              // Introspection client (e.g. tools/volley_stats): answer and
+              // drop; never a monitor.
+              serve_stats(pending.conn, *stats);
+              drop = true;
               break;
             }
             VLOG_WARN("coordinator", "dropping pre-Hello frame");

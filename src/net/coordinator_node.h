@@ -11,6 +11,10 @@
 //  * StatsReport     -> once all reachable monitors reported, reallocate the
 //    error allowance (even or adaptive scheme) and push AllowanceUpdates;
 //  * Heartbeat       -> refresh the monitor's liveness deadline, echo an ack;
+//  * StatsRequest    -> (from any pre-Hello client, e.g. tools/volley_stats)
+//    answer with one StatsReply — session counters plus the obs/ metrics
+//    snapshot and optional trace export — then drop the connection; stats
+//    clients never count toward the expected monitors;
 //  * Bye             -> when all monitors said goodbye, broadcast Shutdown
 //    and return.
 //
@@ -122,6 +126,9 @@ class CoordinatorNode {
 
   void handle_message(MonitorId id, Session& session, const Message& message);
   void bind_session(PendingConn&& pending, const Hello& hello);
+  /// Answers a StatsRequest on a (pre-Hello) connection with one StatsReply;
+  /// the caller then drops the connection — stats clients are not monitors.
+  void serve_stats(TcpConnection& conn, const StatsRequest& request);
   void start_poll(Tick tick);
   void check_poll_completion();
   void finish_poll();

@@ -17,6 +17,8 @@ enum class Type : std::uint8_t {
   kShutdown = 8,
   kHeartbeat = 9,
   kHeartbeatAck = 10,
+  kStatsRequest = 11,
+  kStatsReply = 12,
 };
 
 class Writer {
@@ -26,6 +28,10 @@ class Writer {
   void u64(std::uint64_t v) { raw(&v, 8); }
   void i64(std::int64_t v) { raw(&v, 8); }
   void f64(double v) { raw(&v, 8); }
+  void str(const std::string& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    raw(v.data(), v.size());
+  }
 
   std::vector<std::byte> take() { return std::move(buf_); }
 
@@ -46,6 +52,14 @@ class Reader {
   bool u64(std::uint64_t& v) { return raw(&v, 8); }
   bool i64(std::int64_t& v) { return raw(&v, 8); }
   bool f64(double& v) { return raw(&v, 8); }
+  bool str(std::string& v) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (data_.size() - pos_ < len) return false;
+    v.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
   bool done() const { return pos_ == data_.size(); }
 
  private:
@@ -108,6 +122,16 @@ std::vector<std::byte> encode(const Message& message) {
         } else if constexpr (std::is_same_v<T, HeartbeatAck>) {
           w.u8(static_cast<std::uint8_t>(Type::kHeartbeatAck));
           w.u64(m.seq);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          w.u8(static_cast<std::uint8_t>(Type::kStatsRequest));
+          w.u32(m.flags);
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          w.u8(static_cast<std::uint8_t>(Type::kStatsReply));
+          w.i64(m.global_polls);
+          w.i64(m.reallocations);
+          w.i64(m.alerts);
+          w.str(m.metrics);
+          w.str(m.trace_jsonl);
         }
       },
       message);
@@ -178,6 +202,19 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
     case Type::kHeartbeatAck: {
       HeartbeatAck m;
       if (!r.u64(m.seq) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kStatsRequest: {
+      StatsRequest m;
+      if (!r.u32(m.flags) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kStatsReply: {
+      StatsReply m;
+      if (!r.i64(m.global_polls) || !r.i64(m.reallocations) ||
+          !r.i64(m.alerts) || !r.str(m.metrics) || !r.str(m.trace_jsonl) ||
+          !r.done())
+        return std::nullopt;
       return m;
     }
   }

@@ -4,6 +4,12 @@
 //                            Heartbeat, Bye
 //   coordinator -> monitor:  PollRequest, AllowanceUpdate, HeartbeatAck,
 //                            Shutdown
+//   any client <-> coordinator:  StatsRequest / StatsReply (introspection:
+//                            a client — e.g. tools/volley_stats — connects,
+//                            sends StatsRequest *instead of* Hello, gets one
+//                            StatsReply carrying the coordinator's metrics
+//                            snapshot and optional trace export, and is
+//                            disconnected; it never counts as a monitor)
 //
 // Liveness: monitors heartbeat on a wall-clock interval; the coordinator
 // acks each one. A silent monitor is declared *suspect* after
@@ -12,14 +18,17 @@
 // monitor can reattach to its session and resync its error allowance.
 //
 // Encoding: 1 type byte followed by fixed-width little-endian fields
-// (u32/i64/f64). Decoding is total: a malformed buffer returns nullopt
-// rather than throwing, because it arrives from the network.
+// (u32/i64/f64); strings are a u32 byte length followed by the raw bytes
+// (UTF-8 by convention, not enforced). Decoding is total: a malformed
+// buffer returns nullopt rather than throwing, because it arrives from the
+// network. DESIGN.md's wire-format appendix documents every message layout.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -85,9 +94,33 @@ struct HeartbeatAck {
   std::uint64_t seq{0};
 };
 
+/// Introspection request (any client -> coordinator). Sent on a fresh
+/// connection in place of Hello; the coordinator answers with one
+/// StatsReply and closes the connection.
+struct StatsRequest {
+  static constexpr std::uint32_t kIncludeTrace = 1u << 0;  // fill trace_jsonl
+  static constexpr std::uint32_t kMetricsJson = 1u << 1;   // JSON, not Prom
+  std::uint32_t flags{0};
+};
+
+/// Introspection reply (coordinator -> client): session counters plus the
+/// process-global metrics registry snapshot. `metrics` holds the Prometheus
+/// text exposition, or the JSON snapshot when kMetricsJson was requested.
+/// `trace_jsonl` holds the newest trace events (JSONL, bounded so the frame
+/// stays under kMaxFrameBytes) when kIncludeTrace was requested; empty
+/// otherwise.
+struct StatsReply {
+  std::int64_t global_polls{0};
+  std::int64_t reallocations{0};
+  std::int64_t alerts{0};
+  std::string metrics;
+  std::string trace_jsonl;
+};
+
 using Message =
     std::variant<Hello, LocalViolation, PollRequest, PollResponse, StatsReport,
-                 AllowanceUpdate, Bye, Shutdown, Heartbeat, HeartbeatAck>;
+                 AllowanceUpdate, Bye, Shutdown, Heartbeat, HeartbeatAck,
+                 StatsRequest, StatsReply>;
 
 /// Serializes a message (payload only; add framing separately).
 std::vector<std::byte> encode(const Message& message);

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
 
 namespace volley::net {
 
@@ -15,6 +17,25 @@ std::int64_t now_ms() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+struct MonitorNodeMetrics {
+  obs::Counter& reconnect_attempts;
+  obs::Counter& reconnects;
+  obs::Counter& degraded_ticks;
+
+  static MonitorNodeMetrics& get() {
+    auto& m = obs::metrics();
+    static MonitorNodeMetrics handles{
+        m.counter("volley_net_reconnect_attempts_total",
+                  "Coordinator reconnect attempts (successes and failures)"),
+        m.counter("volley_net_reconnects_total",
+                  "Successful session resumes (Hello{resume} accepted)"),
+        m.counter("volley_net_degraded_ticks_total",
+                  "Ticks spent sampling in degraded (coordinator-less) mode"),
+    };
+    return handles;
+  }
+};
 }  // namespace
 
 MonitorNode::MonitorNode(const MonitorNodeOptions& options,
@@ -73,10 +94,12 @@ bool MonitorNode::try_attach(bool resume) {
 void MonitorNode::maybe_reconnect(std::int64_t now) {
   if (connected_ || coordinator_lost_) return;
   if (now < next_attempt_ms_) return;
+  MonitorNodeMetrics::get().reconnect_attempts.inc();
   if (try_attach(/*resume=*/ever_connected_)) {
     failed_attempts_ = 0;
     if (ever_connected_) {
       ++reconnects_;
+      MonitorNodeMetrics::get().reconnects.inc();
       VLOG_INFO("monitor", "reconnected to coordinator (resume)");
     }
     ever_connected_ = true;
@@ -94,6 +117,9 @@ void MonitorNode::maybe_reconnect(std::int64_t now) {
   const double jitter = jitter_rng_.uniform(0.75, 1.25);
   next_attempt_ms_ =
       now + static_cast<std::int64_t>(backoff_ms_ * jitter);
+  obs::trace().record(obs::TraceKind::kReconnectAttempt, 0, options_.id,
+                      static_cast<double>(failed_attempts_),
+                      static_cast<double>(next_attempt_ms_ - now));
   backoff_ms_ = std::min(backoff_ms_ * 2, options_.reconnect_backoff_max_ms);
 }
 
@@ -209,6 +235,7 @@ void MonitorNode::run() {
       const auto outcome = monitor_.force_sample(t);
       log_sample(outcome);
       ++degraded_ticks_;
+      MonitorNodeMetrics::get().degraded_ticks.inc();
     }
 
     std::this_thread::sleep_for(std::chrono::microseconds(options_.tick_micros));

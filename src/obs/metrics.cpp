@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace volley::obs {
+
+namespace {
+
+void validate_name(const std::string& name) {
+  if (name.empty())
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  const auto ok_head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  const auto ok_tail = [&](char c) {
+    return ok_head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!ok_head(name.front()))
+    throw std::invalid_argument("MetricsRegistry: bad metric name: " + name);
+  for (char c : name) {
+    if (!ok_tail(c))
+      throw std::invalid_argument("MetricsRegistry: bad metric name: " + name);
+  }
+}
+
+/// %.17g prints doubles round-trip exactly and without locale surprises.
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// JSON has no Inf/NaN; emit null for them (never expected in practice).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  return fmt_double(v);
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  validate_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) {
+    if (e.gauge || e.histogram)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    e.counter = std::make_unique<Counter>();
+    e.help = help;
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  validate_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) {
+    if (e.counter || e.histogram)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    e.gauge = std::make_unique<Gauge>();
+    e.help = help;
+  }
+  return *e.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins,
+                                            const std::string& help) {
+  validate_name(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) {
+    if (e.counter || e.gauge)
+      throw std::invalid_argument("MetricsRegistry: " + name +
+                                  " already registered with another type");
+    e.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+    e.help = help;
+  }
+  return *e.histogram;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    const char* type =
+        e.counter ? "counter" : (e.gauge ? "gauge" : "histogram");
+    if (!e.help.empty()) out << "# HELP " << name << ' ' << e.help << '\n';
+    out << "# TYPE " << name << ' ' << type << '\n';
+    if (e.counter) {
+      out << name << ' ' << e.counter->value() << '\n';
+    } else if (e.gauge) {
+      out << name << ' ' << fmt_double(e.gauge->value()) << '\n';
+    } else {
+      const Histogram h = e.histogram->snapshot();
+      // Prometheus buckets are cumulative. stats::Histogram clamps
+      // out-of-range values into the edge bins: underflow sits in bin 0
+      // (correctly below every upper bound), but overflow clamped into the
+      // last bin exceeds its `le` bound and belongs only in +Inf.
+      std::int64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bins(); ++b) {
+        cumulative += h.bin_count(b);
+        const std::int64_t le_count =
+            (b + 1 == h.bins()) ? cumulative - h.overflow() : cumulative;
+        out << name << "_bucket{le=\"" << fmt_double(h.bin_hi(b)) << "\"} "
+            << le_count << '\n';
+      }
+      out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+      out << name << "_sum "
+          << fmt_double(h.count() > 0 ? h.mean() * static_cast<double>(
+                                                       h.count())
+                                      : 0.0)
+          << '\n';
+      out << name << "_count " << h.count() << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.counter) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << e.counter->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.gauge) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << json_double(e.gauge->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!e.histogram) continue;
+    if (!first) out << ',';
+    first = false;
+    const Histogram h = e.histogram->snapshot();
+    out << '"' << name << "\":{\"lo\":" << json_double(h.bin_lo(0))
+        << ",\"hi\":" << json_double(h.bin_hi(h.bins() - 1))
+        << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+      if (b) out << ',';
+      out << h.bin_count(b);
+    }
+    out << "],\"underflow\":" << h.underflow()
+        << ",\"overflow\":" << h.overflow() << ",\"count\":" << h.count()
+        << ",\"mean\":" << json_double(h.count() > 0 ? h.mean() : 0.0) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace volley::obs

@@ -1,0 +1,120 @@
+// Structured trace events: the "why" behind the metrics.
+//
+// Counters say *how many* samples were taken; trace events say *which*
+// monitor took one at *which* tick with *what* violation likelihood. Every
+// decision point of the Volley pipeline records one event:
+//
+//   kSampleTaken        monitor sampled          value = sampled value,
+//                                                detail = 0 scheduled /
+//                                                         1 global poll
+//   kIntervalChosen     adaptation rule applied  value = chosen interval I
+//                                                (ticks), detail = beta
+//                                                bound at the decision
+//   kAllowanceAdjusted  coordinator reallocated  value = new err_i,
+//                                                detail = previous err_i
+//   kAllowanceReclaimed dead monitor's budget    value = surviving monitor
+//                       redistributed            count, detail = excluded
+//                                                monitor count
+//   kAlertRaised        global poll crossed T    value = aggregate,
+//                                                detail = threshold T
+//   kMisdetectWindow    a ground-truth alert     tick = episode start,
+//                       episode went undetected  value = episode end
+//                                                (exclusive), detail =
+//                                                episode length in ticks
+//   kLivenessTransition monitor liveness changed value = new state,
+//                       (wire runtime)           detail = old state
+//                                                (0 active / 1 suspect /
+//                                                 2 dead)
+//   kReconnectAttempt   monitor retried its      value = consecutive failed
+//                       coordinator link         attempts so far, detail =
+//                                                next backoff in ms
+//
+// Events land in a bounded ring-buffer sink (common/ring_buffer.h): the
+// newest `capacity` events win, the oldest are overwritten — observability
+// must never grow without bound inside the system it observes. `seq` is a
+// monotone per-sink sequence number, so an exporter can detect overwritten
+// gaps. Export is JSONL (one JSON object per line); `trace_event_from_json`
+// round-trips the format for offline tooling and tests.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ring_buffer.h"
+
+namespace volley::obs {
+
+enum class TraceKind : std::uint8_t {
+  kSampleTaken = 0,
+  kIntervalChosen = 1,
+  kAllowanceAdjusted = 2,
+  kAllowanceReclaimed = 3,
+  kAlertRaised = 4,
+  kMisdetectWindow = 5,
+  kLivenessTransition = 6,
+  kReconnectAttempt = 7,
+};
+
+/// Stable snake_case name ("sample_taken", ...) used in the JSONL export.
+const char* trace_kind_name(TraceKind kind);
+std::optional<TraceKind> trace_kind_from_name(std::string_view name);
+
+struct TraceEvent {
+  TraceKind kind{TraceKind::kSampleTaken};
+  std::int64_t seq{0};       // per-sink monotone sequence number
+  Tick tick{0};              // logical time (0 when not applicable)
+  std::uint32_t monitor{0};  // monitor id (0 when not applicable)
+  double value{0.0};         // kind-specific primary datum (header table)
+  double detail{0.0};        // kind-specific secondary datum
+};
+
+/// One-line JSON object:
+/// {"seq":3,"kind":"sample_taken","tick":17,"monitor":2,"value":1.5,"detail":0}
+std::string to_json(const TraceEvent& event);
+
+/// Parses one `to_json` line (whitespace-tolerant, key order fixed as
+/// emitted). nullopt on malformed input or unknown kind.
+std::optional<TraceEvent> trace_event_from_json(std::string_view line);
+
+/// Bounded, thread-safe trace sink. Recording takes one uncontended mutex;
+/// when the ring is full the oldest event is overwritten (`dropped()`
+/// counts the overwrites).
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+
+  void record(TraceKind kind, Tick tick, std::uint32_t monitor, double value,
+              double detail = 0.0);
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// JSONL export of the newest `max_events` retained events (0 = all),
+  /// oldest first. Bounded output for wire transport (StatsReply).
+  std::string to_jsonl(std::size_t max_events = 0) const;
+
+  std::int64_t recorded() const;  // events ever recorded
+  std::int64_t dropped() const;   // events overwritten by ring wraparound
+  std::size_t capacity() const { return capacity_; }
+  /// Drops the retained events; sequence numbering continues across clears.
+  void clear();
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  mutable std::mutex mu_;
+  RingBuffer<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::int64_t seq_{0};
+  std::int64_t dropped_{0};
+};
+
+/// The process-global sink all built-in instrumentation records into.
+TraceSink& trace();
+
+}  // namespace volley::obs

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
+
 namespace volley {
 
 GroundTruth GroundTruth::from_series(const TimeSeries& aggregate,
@@ -41,14 +44,26 @@ void score_detection(RunResult& result, const GroundTruth& truth,
   for (std::size_t t = 0; t < detected.size(); ++t) {
     if (truth.alert[t] && detected[t]) ++result.detected_alert_ticks;
   }
+  auto& missed_episodes = obs::metrics().counter(
+      "volley_misdetected_episodes_total",
+      "Ground-truth alert episodes in which no tick was detected");
   for (const auto& [start, end] : truth.episodes) {
+    bool hit = false;
     for (Tick t = start; t < end; ++t) {
       if (detected[static_cast<std::size_t>(t)]) {
         ++result.detected_episodes;
+        hit = true;
         break;
       }
     }
+    if (!hit) {
+      missed_episodes.inc();
+      obs::trace().record(obs::TraceKind::kMisdetectWindow, start, 0,
+                          static_cast<double>(end),
+                          static_cast<double>(end - start));
+    }
   }
+  result.metrics_json = obs::metrics().to_json();
 }
 
 }  // namespace volley

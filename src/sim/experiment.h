@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,12 @@ struct RunResult {
   // Optional details (filled when RunOptions request them).
   std::vector<std::vector<Tick>> op_ticks;   // per monitor
   std::vector<Tick> interval_trajectory;     // monitor 0's interval per op
+
+  // Observability side: JSON snapshot of the process-global metrics
+  // registry (obs/metrics.h) taken when the run finished. Counters are
+  // cumulative over the process (Prometheus semantics) — compare snapshots
+  // across runs for per-run deltas.
+  std::string metrics_json;
 
   std::int64_t total_ops() const { return scheduled_ops + forced_ops; }
   /// Reference cost: periodic sampling at Id on every monitor.

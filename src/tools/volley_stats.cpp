@@ -1,0 +1,112 @@
+// volley_stats — query a live coordinator's observability snapshot.
+//
+//   volley_stats port=7601 [host=127.0.0.1] [format=prometheus|json]
+//                [trace=0|1] [timeout_ms=2000]
+//
+// Connects to a running volleyd_coordinator, sends a StatsRequest in place
+// of Hello, and pretty-prints the single StatsReply: session counters
+// (global polls, reallocations, alerts), the process-global metrics
+// registry (Prometheus text by default, JSON with format=json), and — with
+// trace=1 — the newest structured trace events as JSONL. The coordinator
+// drops the connection after replying; this tool never counts as a monitor.
+#include <cstdio>
+#include <array>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "net/framing.h"
+#include "net/messages.h"
+#include "net/socket.h"
+
+int main(int argc, char** argv) {
+  using namespace volley;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Config config;
+  try {
+    config = Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return 2;
+  }
+  if (config.has("help")) {
+    std::printf("usage: volley_stats port=P [host=H] "
+                "[format=prometheus|json] [trace=0|1] [timeout_ms=MS]\n");
+    return 0;
+  }
+
+  try {
+    const std::string host = config.get_string("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(config.get_int("port", 0));
+    const std::string format = config.get_string("format", "prometheus");
+    const bool want_trace = config.get_int("trace", 0) != 0;
+    const int timeout_ms =
+        static_cast<int>(config.get_int("timeout_ms", 2000));
+    if (port == 0) {
+      std::fprintf(stderr, "volley_stats: port=P is required\n");
+      return 2;
+    }
+    if (format != "prometheus" && format != "json") {
+      std::fprintf(stderr, "volley_stats: format must be prometheus|json\n");
+      return 2;
+    }
+
+    auto conn = TcpConnection::try_connect(host, port, timeout_ms);
+    if (!conn) {
+      std::fprintf(stderr, "volley_stats: cannot reach %s:%u\n", host.c_str(),
+                   port);
+      return 1;
+    }
+
+    net::StatsRequest request;
+    if (want_trace) request.flags |= net::StatsRequest::kIncludeTrace;
+    if (format == "json") request.flags |= net::StatsRequest::kMetricsJson;
+    if (!conn->send_all(frame_payload(net::encode(net::Message{request})))) {
+      std::fprintf(stderr, "volley_stats: send failed\n");
+      return 1;
+    }
+
+    // The socket stays blocking; bound the wait with a wall-clock deadline
+    // so a wedged coordinator cannot hang the tool past timeout_ms.
+    FrameReader reader;
+    std::array<std::byte, 8192> buf;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    std::optional<net::Message> reply;
+    while (!reply && std::chrono::steady_clock::now() < deadline) {
+      const auto n = conn->recv_some(buf);
+      if (!n) continue;   // spurious wakeup on a blocking socket
+      if (*n == 0) break; // peer closed before replying
+      reader.feed(std::span<const std::byte>(buf.data(), *n));
+      if (auto payload = reader.next()) reply = net::decode(*payload);
+    }
+    if (!reply) {
+      std::fprintf(stderr, "volley_stats: no reply within %d ms\n",
+                   timeout_ms);
+      return 1;
+    }
+    const auto* stats = std::get_if<net::StatsReply>(&*reply);
+    if (!stats) {
+      std::fprintf(stderr, "volley_stats: unexpected reply type\n");
+      return 1;
+    }
+
+    std::printf("# coordinator %s:%u\n", host.c_str(), port);
+    std::printf("# global_polls=%lld reallocations=%lld alerts=%lld\n",
+                static_cast<long long>(stats->global_polls),
+                static_cast<long long>(stats->reallocations),
+                static_cast<long long>(stats->alerts));
+    std::fputs(stats->metrics.c_str(), stdout);
+    if (!stats->metrics.empty() && stats->metrics.back() != '\n')
+      std::fputc('\n', stdout);
+    if (want_trace) {
+      std::printf("# trace (newest events, oldest first)\n");
+      std::fputs(stats->trace_jsonl.c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volley_stats: %s\n", e.what());
+    return 1;
+  }
+}

@@ -31,7 +31,9 @@ using net::Message;
 using net::PollRequest;
 using net::PollResponse;
 using net::Shutdown;
+using net::StatsReply;
 using net::StatsReport;
+using net::StatsRequest;
 
 std::span<const std::byte> as_bytes(const std::vector<std::byte>& v) {
   return {v.data(), v.size()};
@@ -154,6 +156,39 @@ TEST(Messages, StatsAllowanceByeShutdownRoundTrip) {
   const auto bye = round_trip(Bye{2, 100, 5});
   EXPECT_EQ(bye.scheduled_ops, 100);
   EXPECT_NO_THROW(round_trip(Shutdown{}));
+}
+
+TEST(Messages, StatsRequestReplyRoundTrip) {
+  StatsRequest req;
+  req.flags = StatsRequest::kIncludeTrace | StatsRequest::kMetricsJson;
+  const auto req_out = round_trip(req);
+  EXPECT_EQ(req_out.flags, req.flags);
+
+  StatsReply reply;
+  reply.global_polls = 12;
+  reply.reallocations = 3;
+  reply.alerts = 2;
+  reply.metrics = "# HELP volley_x_total test\nvolley_x_total 5\n";
+  reply.trace_jsonl = "{\"seq\":0,\"kind\":\"sample_taken\"}\n";
+  const auto reply_out = round_trip(reply);
+  EXPECT_EQ(reply_out.global_polls, 12);
+  EXPECT_EQ(reply_out.reallocations, 3);
+  EXPECT_EQ(reply_out.alerts, 2);
+  EXPECT_EQ(reply_out.metrics, reply.metrics);
+  EXPECT_EQ(reply_out.trace_jsonl, reply.trace_jsonl);
+
+  // Empty strings encode and decode cleanly too.
+  const auto empty_out = round_trip(StatsReply{});
+  EXPECT_TRUE(empty_out.metrics.empty());
+  EXPECT_TRUE(empty_out.trace_jsonl.empty());
+}
+
+TEST(Messages, StatsReplyDecodeRejectsTruncatedString) {
+  StatsReply reply;
+  reply.metrics = "some metrics payload";
+  auto bytes = net::encode(Message{reply});
+  bytes.resize(bytes.size() - 4);  // cut into the string bytes
+  EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value());
 }
 
 TEST(Messages, DecodeRejectsGarbage) {
@@ -343,6 +378,82 @@ TEST(NetIntegration, AllowanceReallocationHappens) {
   ct.join();
 
   EXPECT_GT(coordinator.reallocations(), 0);
+}
+
+// Introspection endpoint: a stats client connects mid-session, sends
+// StatsRequest instead of Hello, gets one StatsReply with the metrics
+// snapshot (and the trace export), and the monitoring session is untouched
+// — the stats client never counts toward the expected monitors.
+TEST(NetIntegration, StatsEndpointServesMetricsMidSession) {
+  constexpr Tick kTicks = 1500;
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 2;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.03;
+  net::CoordinatorNode coordinator(copt);
+
+  CallableSource hot(
+      [](Tick t) { return (t % 100 < 20) ? 20.0 : 0.5; }, kTicks);
+  CallableSource quiet([](Tick) { return 0.5; }, kTicks);
+
+  net::MonitorNodeOptions m0;
+  m0.id = 0;
+  m0.coordinator_port = coordinator.port();
+  m0.local_threshold = 5.0;
+  m0.sampler.patience = 3;
+  m0.sampler.max_interval = 8;
+  m0.ticks = kTicks;
+  m0.updating_period = 300;
+  m0.tick_micros = 300;
+  net::MonitorNodeOptions m1 = m0;
+  m1.id = 1;
+  net::MonitorNode node0(m0, hot), node1(m1, quiet);
+
+  std::thread ct([&coordinator] { coordinator.run(); });
+  std::thread t0([&node0] { node0.run(); });
+  std::thread t1([&node1] { node1.run(); });
+
+  // Let the session get going, then query it from the side.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto conn = TcpConnection::connect("127.0.0.1", coordinator.port(), 2000);
+  StatsRequest request;
+  request.flags = StatsRequest::kIncludeTrace;
+  ASSERT_TRUE(conn.send_all(frame_payload(net::encode(Message{request}))));
+
+  FrameReader reader;
+  std::array<std::byte, 8192> buf;
+  std::optional<Message> reply;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(3);
+  while (!reply && std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 100);
+    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    const auto n = conn.recv_some(buf);
+    if (!n || *n == 0) break;
+    reader.feed(std::span<const std::byte>(buf.data(), *n));
+    if (auto payload = reader.next()) reply = net::decode(as_bytes(*payload));
+  }
+  ASSERT_TRUE(reply.has_value()) << "no StatsReply within the deadline";
+  const auto* stats = std::get_if<StatsReply>(&*reply);
+  ASSERT_NE(stats, nullptr);
+  // The Prometheus snapshot names the net-runtime instruments and the trace
+  // export carries events from the in-process monitors.
+  EXPECT_NE(stats->metrics.find("volley_net_stats_requests_total"),
+            std::string::npos);
+  EXPECT_NE(stats->metrics.find("volley_sampler_observations_total"),
+            std::string::npos);
+  EXPECT_FALSE(stats->trace_jsonl.empty());
+  conn.close();
+
+  t0.join();
+  t1.join();
+  ct.join();
+
+  // The session completed normally: both real monitors said Bye and the
+  // stats client never became a phantom third monitor.
+  EXPECT_EQ(coordinator.reported_ops().size(), 2u);
+  EXPECT_GT(coordinator.global_polls(), 0);
 }
 
 // --- failure model -------------------------------------------------------

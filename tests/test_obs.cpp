@@ -1,0 +1,366 @@
+// Tests for src/obs: the metrics registry (counters, gauges, histograms,
+// Prometheus/JSON exposition, concurrency) and the structured trace sink
+// (bounded ring, JSONL round-trip), plus the sim-driver integration that
+// embeds a metrics snapshot in every RunResult.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace_events.h"
+#include "sim/runner.h"
+
+namespace volley::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(Metrics, CounterStartsAtZeroAndIncrements) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("test_events_total", "help text");
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("dup_total");
+  auto& b = reg.counter("dup_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, TypeConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("shape_shifter");
+  EXPECT_THROW(reg.gauge("shape_shifter"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("shape_shifter", 0, 1, 4), std::invalid_argument);
+}
+
+TEST(Metrics, BadNamesThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("1starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-dash"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space"), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("_ok_name_2"));
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreLossless) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("contended_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&c] {
+      for (int n = 0; n < kPerThread; ++n) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ConcurrentRegistrationReturnsOneInstrument) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back(
+        [&reg] { reg.counter("race_total").inc(); });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.counter("race_total").value(), kThreads);
+}
+
+TEST(Metrics, GaugeHoldsLastWrite) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("level");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("latency", 0.0, 10.0, 10);
+  h.observe(0.5);   // bin 0
+  h.observe(5.5);   // bin 5
+  h.observe(5.9);   // bin 5
+  h.observe(-1.0);  // underflow, clamped to bin 0
+  h.observe(42.0);  // overflow, clamped to last bin
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 5);
+  EXPECT_EQ(snap.bin_count(0), 2);
+  EXPECT_EQ(snap.bin_count(5), 2);
+  EXPECT_EQ(snap.underflow(), 1);
+  EXPECT_EQ(snap.overflow(), 1);
+}
+
+TEST(Metrics, HistogramReRegistrationKeepsFirstBounds) {
+  MetricsRegistry reg;
+  auto& a = reg.histogram("fixed", 0.0, 10.0, 10);
+  auto& b = reg.histogram("fixed", -5.0, 5.0, 2);  // ignored bounds
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.snapshot().bins(), 10u);
+}
+
+TEST(Metrics, ResetZeroesInPlaceAndKeepsHandles) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("r_total");
+  auto& g = reg.gauge("r_gauge");
+  auto& h = reg.histogram("r_hist", 0, 1, 4);
+  c.inc(7);
+  g.set(2.0);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count(), 0);
+  c.inc();  // the old handle still points at the live instrument
+  EXPECT_EQ(reg.counter("r_total").value(), 1);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("volley_ops_total", "Sampling operations").inc(3);
+  reg.gauge("volley_share", "Current share").set(0.25);
+  auto& h = reg.histogram("volley_interval", 0.0, 4.0, 2, "Intervals");
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(9.0);  // overflow
+  const std::string text = reg.to_prometheus();
+
+  EXPECT_NE(text.find("# HELP volley_ops_total Sampling operations"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE volley_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("volley_ops_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE volley_share gauge"), std::string::npos);
+  EXPECT_NE(text.find("volley_share 0.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE volley_interval histogram"), std::string::npos);
+  // Buckets are cumulative; +Inf carries the total including overflow.
+  EXPECT_NE(text.find("volley_interval_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("volley_interval_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("volley_interval_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("volley_interval_count 3"), std::string::npos);
+}
+
+TEST(Metrics, JsonSnapshotShape) {
+  MetricsRegistry reg;
+  reg.counter("c_total").inc(2);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", 0.0, 1.0, 2).observe(0.25);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0]"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  auto& a = metrics();
+  auto& b = metrics();
+  EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSink
+
+TEST(Trace, KindNamesRoundTrip) {
+  for (int k = 0; k <= 7; ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    const auto parsed = trace_kind_from_name(trace_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(trace_kind_from_name("nonsense").has_value());
+}
+
+TEST(Trace, RecordsWithMonotoneSequence) {
+  TraceSink sink(8);
+  sink.record(TraceKind::kSampleTaken, 1, 0, 10.0);
+  sink.record(TraceKind::kIntervalChosen, 2, 1, 4.0, 0.01);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[1].seq, 1);
+  EXPECT_EQ(events[1].kind, TraceKind::kIntervalChosen);
+  EXPECT_EQ(events[1].monitor, 1u);
+  EXPECT_DOUBLE_EQ(events[1].detail, 0.01);
+  EXPECT_EQ(sink.recorded(), 2);
+  EXPECT_EQ(sink.dropped(), 0);
+}
+
+TEST(Trace, RingOverwritesOldestWhenFull) {
+  TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.record(TraceKind::kSampleTaken, i, 0, static_cast<double>(i));
+  }
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Newest 4 survive, oldest first.
+  EXPECT_EQ(events.front().tick, 6);
+  EXPECT_EQ(events.back().tick, 9);
+  EXPECT_EQ(sink.recorded(), 10);
+  EXPECT_EQ(sink.dropped(), 6);
+}
+
+TEST(Trace, JsonRoundTrip) {
+  TraceEvent e;
+  e.kind = TraceKind::kAlertRaised;
+  e.seq = 17;
+  e.tick = 420;
+  e.monitor = 3;
+  e.value = 12.5;
+  e.detail = 9.0;
+  const auto parsed = trace_event_from_json(to_json(e));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, e.kind);
+  EXPECT_EQ(parsed->seq, e.seq);
+  EXPECT_EQ(parsed->tick, e.tick);
+  EXPECT_EQ(parsed->monitor, e.monitor);
+  EXPECT_DOUBLE_EQ(parsed->value, e.value);
+  EXPECT_DOUBLE_EQ(parsed->detail, e.detail);
+}
+
+TEST(Trace, JsonRejectsMalformedLines) {
+  EXPECT_FALSE(trace_event_from_json("").has_value());
+  EXPECT_FALSE(trace_event_from_json("{}").has_value());
+  EXPECT_FALSE(trace_event_from_json("not json").has_value());
+  EXPECT_FALSE(trace_event_from_json(
+                   R"({"seq":0,"kind":"bogus_kind","tick":0,"monitor":0,)"
+                   R"("value":0,"detail":0})")
+                   .has_value());
+}
+
+TEST(Trace, JsonlExportRoundTripsEveryLine) {
+  TraceSink sink(16);
+  sink.record(TraceKind::kSampleTaken, 1, 2, 3.5, 0.0);
+  sink.record(TraceKind::kAllowanceAdjusted, 5, 1, 0.02, 0.01);
+  sink.record(TraceKind::kMisdetectWindow, 100, 0, 104.0, 4.0);
+  const std::string jsonl = sink.to_jsonl();
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const std::size_t eol = jsonl.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);  // every line newline-terminated
+    const auto parsed =
+        trace_event_from_json(jsonl.substr(pos, eol - pos));
+    ASSERT_TRUE(parsed.has_value()) << jsonl.substr(pos, eol - pos);
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Trace, JsonlExportBoundsToNewestEvents) {
+  TraceSink sink(16);
+  for (int i = 0; i < 10; ++i) {
+    sink.record(TraceKind::kSampleTaken, i, 0, 0.0);
+  }
+  const std::string jsonl = sink.to_jsonl(2);
+  const auto first_line = jsonl.substr(0, jsonl.find('\n'));
+  const auto parsed = trace_event_from_json(first_line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tick, 8);  // newest 2, oldest first
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+TEST(Trace, ClearResetsRetainedEventsButNotSequence) {
+  TraceSink sink(4);
+  sink.record(TraceKind::kSampleTaken, 0, 0, 0.0);
+  sink.clear();
+  EXPECT_TRUE(sink.snapshot().empty());
+  sink.record(TraceKind::kSampleTaken, 1, 0, 0.0);
+  // seq keeps rising across clear(): exporters can still order events.
+  EXPECT_EQ(sink.snapshot().front().seq, 1);
+}
+
+TEST(Trace, ConcurrentRecordsKeepAllSequenceNumbersUnique) {
+  TraceSink sink(100000);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&sink, i] {
+      for (int n = 0; n < kPerThread; ++n) {
+        sink.record(TraceKind::kSampleTaken, n, static_cast<std::uint32_t>(i),
+                    0.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::int64_t>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sim integration: every RunResult carries a metrics snapshot.
+
+TEST(ObsIntegration, SimRunEmbedsNonZeroMetricsSnapshot) {
+  Rng rng(7);
+  TimeSeries series(2000);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = rng.normal(0.0, 0.1);
+  }
+  series[500] = 10.0;  // one violation episode so polls/alerts fire
+
+  TaskSpec spec;
+  spec.global_threshold = 5.0;
+  spec.error_allowance = 0.02;
+  spec.max_interval = 16;
+  spec.patience = 5;
+  spec.updating_period = 400;
+
+  const auto result = run_volley_single(spec, series);
+  ASSERT_FALSE(result.metrics_json.empty());
+  EXPECT_NE(result.metrics_json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(result.metrics_json.find("volley_sampler_observations_total"),
+            std::string::npos);
+  // The process-global counters are cumulative, so after a 2000-tick run the
+  // sampler observation count is necessarily non-zero.
+  EXPECT_EQ(result.metrics_json.find("\"volley_sampler_observations_total\":0,"),
+            std::string::npos);
+  EXPECT_GT(metrics()
+                .counter("volley_sampler_observations_total")
+                .value(),
+            0);
+  EXPECT_GT(metrics().counter("volley_monitor_scheduled_ops_total").value(),
+            0);
+  // The spike produced at least one interval-chosen trace event.
+  bool saw_interval_event = false;
+  for (const auto& event : trace().snapshot()) {
+    if (event.kind == TraceKind::kIntervalChosen) {
+      saw_interval_event = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_interval_event);
+}
+
+}  // namespace
+}  // namespace volley::obs
