@@ -3,10 +3,15 @@
 // thresholds at the (100-k)-th percentile of the rate series.
 // Paper: large savings thanks to bursty arrivals and long off-peak valleys
 // (diurnal effects) — comparable to or better than network monitoring.
+//
+// Runs through the timed sweep harness: per-(k, object) thresholds and
+// ground truth are scored once and shared across the err rows.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "tasks/app_task.h"
 
 namespace volley {
@@ -26,8 +31,48 @@ void run() {
   HttpLogGenerator generator(options);
   const auto traces = generator.generate();
 
-  const double ks[] = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4};
-  const double errs[] = {0.002, 0.004, 0.008, 0.016, 0.032};
+  std::vector<double> ks = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4};
+  std::vector<double> errs = {0.002, 0.004, 0.008, 0.016, 0.032};
+  if (bench::quick()) {
+    ks = {0.4, 3.2};
+    errs = {0.008};
+  }
+
+  // Per-(k, object) spec and ground truth, shared across err rows.
+  struct Variant {
+    TaskSpec spec;
+    GroundTruth truth;
+  };
+  std::vector<Variant> variants;
+  variants.reserve(ks.size() * traces.size());
+  for (double k : ks) {
+    for (std::size_t o = 0; o < traces.size(); ++o) {
+      auto task = make_app_task(traces[o], o, k, errs.front());
+      task.spec.max_interval = 40;
+      task.spec.estimator.stats_window = 300;  // 5 min at 1 s
+      variants.push_back(
+          {task.spec, GroundTruth::from_series(traces[o].rate, task.threshold)});
+    }
+  }
+
+  std::vector<sim::SweepCell> cells;
+  cells.reserve(errs.size() * variants.size());
+  for (double err : errs) {
+    std::size_t v = 0;
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      for (std::size_t o = 0; o < traces.size(); ++o, ++v) {
+        sim::SweepCell cell;
+        cell.spec = variants[v].spec;
+        cell.spec.error_allowance = err;
+        cell.series = &traces[o].rate;
+        cell.truth = &variants[v].truth;
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  bench::SweepTiming timing;
+  const auto results = bench::timed_sweep("fig5_application", cells, &timing);
 
   bench::print_header(
       "Figure 5(c) — application monitoring: sampling ratio vs err and k",
@@ -40,17 +85,14 @@ void run() {
   for (double k : ks) header.push_back(bench::fmt(k, 1) + "%");
   bench::print_row(header);
 
+  std::size_t idx = 0;
   for (double err : errs) {
     std::vector<std::string> row{bench::fmt(err, 3)};
-    for (double k : ks) {
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
       double ratio_sum = 0.0;
       std::int64_t tasks = 0;
       for (std::size_t o = 0; o < traces.size(); ++o) {
-        auto task = make_app_task(traces[o], o, k, err);
-        task.spec.max_interval = 40;
-        task.spec.estimator.stats_window = 300;  // 5 min at 1 s
-        const auto r = run_volley_single(task.spec, task.series);
-        ratio_sum += r.sampling_ratio();
+        ratio_sum += results[idx++].sampling_ratio();
         ++tasks;
       }
       row.push_back(bench::fmt(ratio_sum / static_cast<double>(tasks), 3));
@@ -58,6 +100,7 @@ void run() {
     bench::print_row(row);
   }
   std::printf("\n(expect ratios close to or below Figure 5(a))\n");
+  bench::print_timing("fig5_application", timing);
 }
 
 }  // namespace

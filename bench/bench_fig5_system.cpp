@@ -3,10 +3,16 @@
 // VM at Id = 5 s, thresholds at the (100-k)-th percentile.
 // Paper: savings present but smaller than network monitoring, because
 // system metrics jitter more (relative to range) than traffic off-peak.
+//
+// Runs through the timed sweep harness: each (node, metric) series is
+// generated once, each (k, node, metric) threshold/ground-truth pair is
+// scored once, and the err rows reuse both.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "tasks/system_task.h"
 
 namespace volley {
@@ -27,8 +33,62 @@ void run() {
   const std::size_t metrics[] = {0,  2,  8,  16, 23, 30, 34,
                                  46, 50, 58, 61, 63};
 
-  const double ks[] = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4};
-  const double errs[] = {0.002, 0.004, 0.008, 0.016, 0.032};
+  std::vector<double> ks = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4};
+  std::vector<double> errs = {0.002, 0.004, 0.008, 0.016, 0.032};
+  if (bench::quick()) {
+    ks = {0.4, 3.2};
+    errs = {0.008};
+  }
+
+  // One generated series per (node, metric); generate_metric is
+  // deterministic in its arguments, so this matches what a per-cell
+  // rebuild would produce.
+  std::vector<TimeSeries> series;
+  series.reserve(options.nodes * std::size(metrics));
+  for (std::size_t node = 0; node < options.nodes; ++node) {
+    for (std::size_t metric : metrics)
+      series.push_back(generator.generate_metric(node, metric));
+  }
+
+  // Per-(k, node, metric) spec and ground truth, shared across err rows.
+  struct Variant {
+    TaskSpec spec;
+    GroundTruth truth;
+  };
+  std::vector<Variant> variants;
+  variants.reserve(ks.size() * series.size());
+  for (double k : ks) {
+    std::size_t s = 0;
+    for (std::size_t node = 0; node < options.nodes; ++node) {
+      for (std::size_t metric : metrics) {
+        auto task = make_system_task(generator, node, metric, k, errs.front());
+        task.spec.max_interval = 40;
+        task.spec.estimator.stats_window = 720;  // 1 h at 5 s
+        variants.push_back(
+            {task.spec, GroundTruth::from_series(series[s], task.threshold)});
+        ++s;
+      }
+    }
+  }
+
+  std::vector<sim::SweepCell> cells;
+  cells.reserve(errs.size() * variants.size());
+  for (double err : errs) {
+    std::size_t v = 0;
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      for (std::size_t s = 0; s < series.size(); ++s, ++v) {
+        sim::SweepCell cell;
+        cell.spec = variants[v].spec;
+        cell.spec.error_allowance = err;
+        cell.series = &series[s];
+        cell.truth = &variants[v].truth;
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  bench::SweepTiming timing;
+  const auto results = bench::timed_sweep("fig5_system", cells, &timing);
 
   bench::print_header(
       "Figure 5(b) — system monitoring: sampling ratio vs err and k",
@@ -41,26 +101,22 @@ void run() {
   for (double k : ks) header.push_back(bench::fmt(k, 1) + "%");
   bench::print_row(header);
 
+  std::size_t idx = 0;
   for (double err : errs) {
     std::vector<std::string> row{bench::fmt(err, 3)};
-    for (double k : ks) {
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
       double ratio_sum = 0.0;
       std::int64_t tasks = 0;
-      for (std::size_t node = 0; node < options.nodes; ++node) {
-        for (std::size_t metric : metrics) {
-          auto task = make_system_task(generator, node, metric, k, err);
-          task.spec.max_interval = 40;
-          task.spec.estimator.stats_window = 720;  // 1 h at 5 s
-          const auto r = run_volley_single(task.spec, task.series);
-          ratio_sum += r.sampling_ratio();
-          ++tasks;
-        }
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        ratio_sum += results[idx++].sampling_ratio();
+        ++tasks;
       }
       row.push_back(bench::fmt(ratio_sum / static_cast<double>(tasks), 3));
     }
     bench::print_row(row);
   }
   std::printf("\n(expect higher ratios than Figure 5(a) at matching cells)\n");
+  bench::print_timing("fig5_system", timing);
 }
 
 }  // namespace

@@ -3,12 +3,18 @@
 // err = 0 degenerates to periodic sampling at Id = 15 s and must land in
 // the paper's measured 20-34% band; growing err must cut the median by at
 // least half, down toward ~5%.
+//
+// The non-zero err rows run through the timed sweep harness (the err = 0
+// row is synthetic — one op per tick — and needs no simulation). The k = 1
+// threshold and ground truth per VM are shared across every err row.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/cost_model.h"
 #include "sim/datacenter.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "stats/quantile.h"
 #include "tasks/network_task.h"
 
@@ -39,6 +45,44 @@ void run() {
 
   Dom0CostModel model;
 
+  std::vector<double> errs = {0.0, 0.002, 0.004, 0.008, 0.016, 0.032};
+  if (bench::quick()) errs = {0.0, 0.008};
+
+  // Per-VM spec and ground truth at k = 1, shared across err rows.
+  struct Variant {
+    TaskSpec spec;
+    GroundTruth truth;
+  };
+  std::vector<Variant> variants;
+  variants.reserve(traffic.size());
+  for (const auto& vm : traffic) {
+    VmTraffic copy;
+    copy.rho = vm.rho;
+    copy.in_packets = vm.in_packets;
+    auto task = NetworkWorkload::make_task(std::move(copy), 1.0, errs.back());
+    task.spec.max_interval = 40;
+    task.spec.estimator.stats_window = 240;
+    variants.push_back(
+        {task.spec, GroundTruth::from_series(vm.rho, task.threshold)});
+  }
+
+  std::vector<sim::SweepCell> cells;
+  for (double err : errs) {
+    if (err == 0.0) continue;  // synthetic periodic row, no simulation
+    for (std::size_t vmi = 0; vmi < traffic.size(); ++vmi) {
+      sim::SweepCell cell;
+      cell.spec = variants[vmi].spec;
+      cell.spec.error_allowance = err;
+      cell.series = &traffic[vmi].rho;
+      cell.truth = &variants[vmi].truth;
+      cell.run_options.record_ops = true;
+      cells.push_back(cell);
+    }
+  }
+
+  bench::SweepTiming timing;
+  const auto results = bench::timed_sweep("fig6_cpu", cells, &timing);
+
   bench::print_header(
       "Figure 6 — Dom0 CPU utilization vs error allowance (one host, 40 VMs)",
       "err=0 (periodic @ 15 s): 20-34% CPU; rising err cuts it by >= half, "
@@ -50,32 +94,24 @@ void run() {
 
   bench::print_row({"err", "min", "q1", "median", "q3", "max"});
 
-  const double errs[] = {0.0, 0.002, 0.004, 0.008, 0.016, 0.032};
+  std::vector<TimeSeries> packets;
+  packets.reserve(traffic.size());
+  for (const auto& vm : traffic) packets.push_back(vm.in_packets);
+
+  std::size_t idx = 0;
   for (double err : errs) {
     std::vector<std::vector<Tick>> op_ticks;
-    std::vector<TimeSeries> packets;
-    for (const auto& vm : traffic) {
-      VmTraffic copy;
-      copy.rho = vm.rho;
-      copy.in_packets = vm.in_packets;
-      auto task = NetworkWorkload::make_task(std::move(copy), 1.0, err);
-      task.spec.max_interval = 40;
-      task.spec.estimator.stats_window = 240;
+    for (std::size_t vmi = 0; vmi < traffic.size(); ++vmi) {
       if (err == 0.0) {
         // Periodic reference: one op per tick.
-        std::vector<Tick> all(static_cast<std::size_t>(
-            task.traffic.rho.ticks()));
-        for (Tick t = 0; t < task.traffic.rho.ticks(); ++t)
+        std::vector<Tick> all(
+            static_cast<std::size_t>(traffic[vmi].rho.ticks()));
+        for (Tick t = 0; t < traffic[vmi].rho.ticks(); ++t)
           all[static_cast<std::size_t>(t)] = t;
         op_ticks.push_back(std::move(all));
       } else {
-        RunOptions ropt;
-        ropt.record_ops = true;
-        const auto r =
-            run_volley_single(task.spec, task.traffic.rho, ropt);
-        op_ticks.push_back(r.op_ticks[0]);
+        op_ticks.push_back(results[idx++].op_ticks[0]);
       }
-      packets.push_back(task.traffic.in_packets);
     }
     const auto util = model.host_utilization(traffic[0].rho.ticks(),
                                              op_ticks, packets);
@@ -85,6 +121,7 @@ void run() {
                       bench::fmt_pct(box.q3), bench::fmt_pct(box.max)});
   }
   std::printf("\n(whiskers = min/max over per-tick Dom0 utilization)\n");
+  bench::print_timing("fig6_cpu", timing);
 }
 
 }  // namespace

@@ -3,10 +3,16 @@
 // Paper: the achieved rate stays below the specified err in most cases;
 // high-selectivity (small-k) tasks show relatively larger rates because
 // they have few alerts (small denominator) and longer intervals.
+//
+// Runs through the timed sweep harness: each (node, metric) series is
+// generated once, each (k, node, metric) threshold/ground-truth pair is
+// scored once, and the err rows reuse both.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/runner.h"
+#include "sim/sweep.h"
 #include "tasks/system_task.h"
 
 namespace volley {
@@ -27,8 +33,60 @@ void run() {
   // enlarged interval can actually miss.
   const std::size_t metrics[] = {3, 21, 22, 23, 29, 30, 31, 35, 52, 58};
 
-  const double ks[] = {0.4, 0.8, 1.6, 3.2, 6.4};
-  const double errs[] = {0.002, 0.004, 0.008, 0.016, 0.032};
+  std::vector<double> ks = {0.4, 0.8, 1.6, 3.2, 6.4};
+  std::vector<double> errs = {0.002, 0.004, 0.008, 0.016, 0.032};
+  if (bench::quick()) {
+    ks = {0.8, 3.2};
+    errs = {0.008};
+  }
+
+  // One generated series per (node, metric), shared by every grid cell.
+  std::vector<TimeSeries> series;
+  series.reserve(options.nodes * std::size(metrics));
+  for (std::size_t node = 0; node < options.nodes; ++node) {
+    for (std::size_t metric : metrics)
+      series.push_back(generator.generate_metric(node, metric));
+  }
+
+  // Per-(k, node, metric) spec and ground truth, shared across err rows.
+  struct Variant {
+    TaskSpec spec;
+    GroundTruth truth;
+  };
+  std::vector<Variant> variants;
+  variants.reserve(ks.size() * series.size());
+  for (double k : ks) {
+    std::size_t s = 0;
+    for (std::size_t node = 0; node < options.nodes; ++node) {
+      for (std::size_t metric : metrics) {
+        auto task = make_system_task(generator, node, metric, k, errs.front());
+        task.spec.max_interval = 40;
+        task.spec.estimator.stats_window = 720;
+        variants.push_back(
+            {task.spec, GroundTruth::from_series(series[s], task.threshold)});
+        ++s;
+      }
+    }
+  }
+
+  std::vector<sim::SweepCell> cells;
+  cells.reserve(errs.size() * variants.size());
+  for (double err : errs) {
+    std::size_t v = 0;
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      for (std::size_t s = 0; s < series.size(); ++s, ++v) {
+        sim::SweepCell cell;
+        cell.spec = variants[v].spec;
+        cell.spec.error_allowance = err;
+        cell.series = &series[s];
+        cell.truth = &variants[v].truth;
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  bench::SweepTiming timing;
+  const auto results = bench::timed_sweep("fig7_misdetection", cells, &timing);
 
   bench::print_header(
       "Figure 7 — actual mis-detection rate vs error allowance (system tasks)",
@@ -43,20 +101,16 @@ void run() {
   for (double k : ks) header.push_back(bench::fmt(k, 1) + "%");
   bench::print_row(header);
 
+  std::size_t idx = 0;
   for (double err : errs) {
     std::vector<std::string> row{bench::fmt(err, 3)};
-    for (double k : ks) {
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
       std::int64_t missed = 0;
       std::int64_t total = 0;
-      for (std::size_t node = 0; node < options.nodes; ++node) {
-        for (std::size_t metric : metrics) {
-          auto task = make_system_task(generator, node, metric, k, err);
-          task.spec.max_interval = 40;
-          task.spec.estimator.stats_window = 720;
-          const auto r = run_volley_single(task.spec, task.series);
-          missed += r.true_alert_ticks - r.detected_alert_ticks;
-          total += r.true_alert_ticks;
-        }
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const auto& r = results[idx++];
+        missed += r.true_alert_ticks - r.detected_alert_ticks;
+        total += r.true_alert_ticks;
       }
       const double rate =
           total == 0 ? 0.0
@@ -66,6 +120,7 @@ void run() {
     bench::print_row(row);
   }
   std::printf("\n(compare each cell against its row's err target)\n");
+  bench::print_timing("fig7_misdetection", timing);
 }
 
 }  // namespace

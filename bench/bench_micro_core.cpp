@@ -7,9 +7,11 @@
 // their cost must stay orders of magnitude below a sampling operation).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/adaptive_sampler.h"
 #include "core/error_allocation.h"
 #include "core/likelihood.h"
@@ -52,7 +54,7 @@ void BM_BetaBound(benchmark::State& state) {
     benchmark::DoNotOptimize(est.beta_bound(50.0, interval));
   }
 }
-BENCHMARK(BM_BetaBound)->Arg(1)->Arg(4)->Arg(16)->Arg(40);
+BENCHMARK(BM_BetaBound)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(40)->Arg(64);
 
 void BM_SamplerObserve(benchmark::State& state) {
   AdaptiveSamplerOptions options;
@@ -117,6 +119,43 @@ void BM_TraceRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceRecord);
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  // Round-trip cost of one submitted task: the floor on how fine-grained a
+  // sweep job can be before dispatch overhead dominates. Full-day runs are
+  // milliseconds each, so this must stay microseconds.
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pool.submit([] {}).get();
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmit)->Arg(1)->Arg(4);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  // Per-batch overhead of parallel_for with trivial bodies: what sim::sweep
+  // pays on top of the runs themselves for one figure-grid fan-out.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(n, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(16)->Arg(256);
+
+void BM_ScopedRegistryRebind(benchmark::State& state) {
+  // Install + restore of a run-scoped registry plus one cached-handle
+  // re-resolution — the fixed per-run cost of metrics scoping.
+  obs::MetricsRegistry run_registry;
+  for (auto _ : state) {
+    obs::ScopedMetricsRegistry scope(run_registry);
+    benchmark::DoNotOptimize(&obs::metrics());
+  }
+}
+BENCHMARK(BM_ScopedRegistryRebind);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(800, 1.0);

@@ -1,13 +1,28 @@
 // Shared helpers for the figure-reproduction benches: fixed-width table
-// printing and common workload recipes. Every bench prints
+// printing, and the timed sweep harness the grid benches run on. Every
+// bench prints
 //   (a) the paper's qualitative reference for that figure, and
 //   (b) the regenerated rows/series,
 // so EXPERIMENTS.md can record paper-vs-measured side by side.
+//
+// Grid benches execute their parameter grid through `timed_sweep`, which
+// runs the whole batch twice — once serially, once across the worker pool
+// (sim/sweep.h) — checks the two result sets are identical (the sweep's
+// determinism guarantee, enforced on every bench run), and writes a
+// `BENCH_<name>.json` timing record next to the binary's working
+// directory. `VOLLEY_THREADS` sets the pool width; `VOLLEY_BENCH_QUICK=1`
+// asks benches to shrink their grids to smoke-test size.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "sim/experiment.h"
+#include "sim/sweep.h"
 
 namespace volley::bench {
 
@@ -37,6 +52,110 @@ inline std::string fmt_pct(double v, int precision = 1) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
   return buf;
+}
+
+/// True when VOLLEY_BENCH_QUICK is set (and not "0"): benches shrink their
+/// grids to a smoke-test size so CI can exercise the harness in seconds.
+inline bool quick() {
+  const char* v = std::getenv("VOLLEY_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock record of one serial-vs-parallel sweep comparison.
+struct SweepTiming {
+  std::size_t runs{0};
+  std::size_t threads{1};  // pool width of the parallel pass
+  double serial_seconds{0.0};
+  double parallel_seconds{0.0};
+
+  double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+};
+
+/// Writes `BENCH_<name>.json` in the working directory. One flat object so
+/// CI (and EXPERIMENTS.md readers) can jq it without schema knowledge.
+inline void write_bench_json(const std::string& name, const SweepTiming& t) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"quick\":%s,\"runs\":%zu,\"threads\":%zu,"
+               "\"serial_seconds\":%.6f,\"parallel_seconds\":%.6f,"
+               "\"speedup\":%.3f}\n",
+               name.c_str(), quick() ? "true" : "false", t.runs, t.threads,
+               t.serial_seconds, t.parallel_seconds, t.speedup());
+  std::fclose(f);
+}
+
+/// Field-by-field equality of two runs (doubles compared exactly: the
+/// sweep's determinism guarantee is bit-identity, not tolerance).
+inline bool same_result(const RunResult& a, const RunResult& b) {
+  return a.ticks == b.ticks && a.monitors == b.monitors &&
+         a.scheduled_ops == b.scheduled_ops && a.forced_ops == b.forced_ops &&
+         a.total_cost == b.total_cost &&
+         a.true_alert_ticks == b.true_alert_ticks &&
+         a.detected_alert_ticks == b.detected_alert_ticks &&
+         a.true_episodes == b.true_episodes &&
+         a.detected_episodes == b.detected_episodes &&
+         a.local_violations == b.local_violations &&
+         a.global_polls == b.global_polls &&
+         a.reallocations == b.reallocations && a.op_ticks == b.op_ticks &&
+         a.interval_trajectory == b.interval_trajectory &&
+         a.metrics_json == b.metrics_json;
+}
+
+/// Runs `cells` twice — serial loop, then the worker pool — and aborts the
+/// bench if any run differs (a determinism violation is a bug, not noise).
+/// Returns the results (input-ordered) plus the timing via `out`; call
+/// `print_timing` after the figure table so tables stay diffable against
+/// serial-era output.
+inline std::vector<RunResult> timed_sweep(const std::string& name,
+                                          std::span<const sim::SweepCell> cells,
+                                          SweepTiming* out = nullptr) {
+  sim::SweepOptions serial_options;
+  serial_options.threads = 1;
+  SweepTiming timing;
+  timing.runs = cells.size();
+  timing.threads = sim::resolve_threads({});
+
+  double t0 = now_seconds();
+  const auto serial = sim::sweep(cells, serial_options);
+  timing.serial_seconds = now_seconds() - t0;
+
+  t0 = now_seconds();
+  auto parallel = sim::sweep(cells, {});
+  timing.parallel_seconds = now_seconds() - t0;
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!same_result(serial[i], parallel[i])) {
+      std::fprintf(stderr,
+                   "bench %s: parallel sweep diverged from serial at run %zu "
+                   "(determinism violation)\n",
+                   name.c_str(), i);
+      std::exit(1);
+    }
+  }
+  write_bench_json(name, timing);
+  if (out != nullptr) *out = timing;
+  return parallel;
+}
+
+inline void print_timing(const std::string& name, const SweepTiming& t) {
+  std::printf(
+      "\ntiming: %zu runs; serial %.2f s, parallel %.2f s on %zu threads "
+      "(%.2fx) -> BENCH_%s.json\n",
+      t.runs, t.serial_seconds, t.parallel_seconds, t.threads, t.speedup(),
+      name.c_str());
 }
 
 }  // namespace volley::bench

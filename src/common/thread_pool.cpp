@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace volley {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_)
+      throw std::logic_error("ThreadPool: submit after destruction began");
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Work-stealing-free dealing: every participant (pool workers plus the
+  // calling thread) pulls the next unclaimed index. Body exceptions are
+  // collected and the one with the smallest index is rethrown, so failures
+  // are as deterministic as the bodies themselves.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::size_t err_index{std::numeric_limits<std::size_t>::max()};
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>();
+  const auto drain = [state, &body, n]() {
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->err_mu);
+        if (i < state->err_index) {
+          state->err_index = i;
+          state->first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  std::vector<std::future<void>> helpers;
+  const std::size_t helper_count = std::min(workers_.size(), n);
+  helpers.reserve(helper_count);
+  for (std::size_t w = 0; w < helper_count; ++w)
+    helpers.push_back(submit(drain));
+  drain();
+  for (auto& h : helpers) h.get();
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("VOLLEY_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+}  // namespace volley

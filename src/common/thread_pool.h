@@ -1,0 +1,82 @@
+// Fixed-size worker thread pool for embarrassingly parallel experiment
+// work (sim/sweep.h, and any future batch/sharded pipeline stage).
+//
+// Design goals, in order:
+//  1. Determinism support. The pool schedules *tasks*, not results: a
+//     caller that writes task i's output to slot i of a pre-sized vector
+//     gets input-ordered, scheduling-independent results no matter which
+//     worker ran what (this is exactly what sim::sweep does).
+//  2. Simple lifetime. Workers are joined in the destructor; `submit` after
+//     destruction begins is impossible by construction (the pool outlives
+//     every future it handed out only if the caller keeps it alive — the
+//     usual rule for executors).
+//  3. No speculation. A fixed FIFO queue under one mutex is enough: sweep
+//     tasks are full simulation runs (milliseconds to seconds), so queue
+//     overhead is noise (bench_micro_core's dispatch bench keeps this
+//     honest).
+//
+// Exceptions: a task that throws inside `submit` surfaces through its
+// future; `parallel_for` rethrows the first body exception after all
+// workers finish the loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace volley {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a callable; the future carries its result or exception.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until all have
+  /// finished. Indices are dealt to workers in order but may *complete* in
+  /// any order — the body must write only to index-owned state. The calling
+  /// thread participates as a worker, so a 1-thread pool degenerates to a
+  /// plain serial loop. If any body throws, the first exception (in index
+  /// order) is rethrown after the loop drains.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Worker count to use when the caller does not specify one: the
+  /// VOLLEY_THREADS environment variable if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency() (minimum 1).
+  static std::size_t default_threads();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace volley

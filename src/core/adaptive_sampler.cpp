@@ -8,35 +8,36 @@ namespace volley {
 
 namespace {
 
-/// Handles into the global registry, resolved once (registration locks; the
-/// per-observe increments below never do).
+/// Handles into the current registry, re-resolved per thread whenever a
+/// scoped registry is installed (registration locks; the per-observe
+/// increments below never do).
 struct SamplerMetrics {
-  obs::Counter& observations;
-  obs::Counter& resets;
-  obs::Counter& growths;
-  obs::HistogramMetric& interval;
-  obs::HistogramMetric& beta;
+  obs::Counter* observations;
+  obs::Counter* resets;
+  obs::Counter* growths;
+  obs::HistogramMetric* interval;
+  obs::HistogramMetric* beta;
 
-  static SamplerMetrics& get() {
-    auto& m = obs::metrics();
-    static SamplerMetrics handles{
-        m.counter("volley_sampler_observations_total",
-                  "Adaptation-rule evaluations (one per sampling operation)"),
-        m.counter("volley_sampler_interval_resets_total",
-                  "Multiplicative decreases: beta_bound exceeded err, "
-                  "interval reset to Id"),
-        m.counter("volley_sampler_interval_growths_total",
-                  "Additive increases: p consecutive safe checks grew the "
-                  "interval by one Id"),
-        m.histogram("volley_sampler_interval_ticks", 0.0, 64.0, 64,
-                    "Sampling interval chosen after each observation, in "
-                    "default intervals Id"),
-        m.histogram("volley_sampler_beta_bound", 0.0, 1.0, 20,
-                    "Violation-likelihood bound beta_bound(I) at each "
-                    "adaptation decision"),
+  static SamplerMetrics make(obs::MetricsRegistry& m) {
+    return SamplerMetrics{
+        &m.counter("volley_sampler_observations_total",
+                   "Adaptation-rule evaluations (one per sampling operation)"),
+        &m.counter("volley_sampler_interval_resets_total",
+                   "Multiplicative decreases: beta_bound exceeded err, "
+                   "interval reset to Id"),
+        &m.counter("volley_sampler_interval_growths_total",
+                   "Additive increases: p consecutive safe checks grew the "
+                   "interval by one Id"),
+        &m.histogram("volley_sampler_interval_ticks", 0.0, 64.0, 64,
+                     "Sampling interval chosen after each observation, in "
+                     "default intervals Id"),
+        &m.histogram("volley_sampler_beta_bound", 0.0, 1.0, 20,
+                     "Violation-likelihood bound beta_bound(I) at each "
+                     "adaptation decision"),
     };
-    return handles;
   }
+
+  static const SamplerMetrics& get() { return obs::scoped_handles(&make); }
 };
 
 }  // namespace
@@ -63,22 +64,22 @@ Tick AdaptiveSampler::observe(double value, Tick gap) {
   estimator_.observe(value, gap);
   last_beta_ = estimator_.beta_bound(threshold_, interval_);
 
-  auto& om = SamplerMetrics::get();
-  om.observations.inc();
-  om.beta.observe(last_beta_);
+  const auto& om = SamplerMetrics::get();
+  om.observations->inc();
+  om.beta->observe(last_beta_);
 
   const double err = options_.error_allowance;
   if (last_beta_ > err) {
     // Estimated mis-detection rate exceeds the allowance: fall back to the
     // default interval immediately (multiplicative-decrease step).
-    if (interval_ != 1) om.resets.inc();
+    if (interval_ != 1) om.resets->inc();
     interval_ = 1;
     safe_streak_ = 0;
   } else if (last_beta_ <= (1.0 - options_.slack_ratio) * err) {
     if (++safe_streak_ >= options_.patience) {
       if (interval_ < options_.max_interval) {
         ++interval_;
-        om.growths.inc();
+        om.growths->inc();
       }
       safe_streak_ = 0;
     }
@@ -86,7 +87,7 @@ Tick AdaptiveSampler::observe(double value, Tick gap) {
     // Inside the slack band: acceptable, but growing would be risky.
     safe_streak_ = 0;
   }
-  om.interval.observe(static_cast<double>(interval_));
+  om.interval->observe(static_cast<double>(interval_));
   return interval_;
 }
 

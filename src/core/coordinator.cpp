@@ -10,27 +10,29 @@ namespace volley {
 namespace {
 
 struct CoordinatorMetrics {
-  obs::Counter& polls;
-  obs::Counter& alerts;
-  obs::Counter& reallocations;
-  obs::HistogramMetric& allowance_share;
+  obs::Counter* polls;
+  obs::Counter* alerts;
+  obs::Counter* reallocations;
+  obs::HistogramMetric* allowance_share;
 
-  static CoordinatorMetrics& get() {
-    auto& m = obs::metrics();
-    static CoordinatorMetrics handles{
-        m.counter("volley_coordinator_global_polls_total",
-                  "Global polls triggered by local violation reports"),
-        m.counter("volley_coordinator_global_violations_total",
-                  "Global polls whose aggregate exceeded the task threshold "
-                  "T (state alerts)"),
-        m.counter("volley_coordinator_reallocations_total",
-                  "Error-allowance reallocation rounds (once per updating "
-                  "period)"),
-        m.histogram("volley_coordinator_allowance_share", 0.0, 1.0, 20,
-                    "Per-monitor share err_i/err assigned at each "
-                    "reallocation"),
+  static CoordinatorMetrics make(obs::MetricsRegistry& m) {
+    return CoordinatorMetrics{
+        &m.counter("volley_coordinator_global_polls_total",
+                   "Global polls triggered by local violation reports"),
+        &m.counter("volley_coordinator_global_violations_total",
+                   "Global polls whose aggregate exceeded the task threshold "
+                   "T (state alerts)"),
+        &m.counter("volley_coordinator_reallocations_total",
+                   "Error-allowance reallocation rounds (once per updating "
+                   "period)"),
+        &m.histogram("volley_coordinator_allowance_share", 0.0, 1.0, 20,
+                     "Per-monitor share err_i/err assigned at each "
+                     "reallocation"),
     };
-    return handles;
+  }
+
+  static const CoordinatorMetrics& get() {
+    return obs::scoped_handles(&make);
   }
 };
 
@@ -67,7 +69,7 @@ Coordinator::TickResult Coordinator::run_tick(Tick t) {
     // pay one forced sampling operation each.
     result.global_poll = true;
     ++global_polls_;
-    CoordinatorMetrics::get().polls.inc();
+    CoordinatorMetrics::get().polls->inc();
     double sum = 0.0;
     for (auto& m : monitors_) {
       sum += m->force_sample(t).sample.value;
@@ -76,7 +78,7 @@ Coordinator::TickResult Coordinator::run_tick(Tick t) {
     result.global_violation = sum > spec_.global_threshold;
     if (result.global_violation) {
       ++global_violations_;
-      CoordinatorMetrics::get().alerts.inc();
+      CoordinatorMetrics::get().alerts->inc();
       obs::trace().record(obs::TraceKind::kAlertRaised, t, 0, sum,
                           spec_.global_threshold);
     }
@@ -98,11 +100,11 @@ void Coordinator::maybe_reallocate(Tick t) {
   const std::vector<double> previous = allocation_;
   allocation_ = allocator_->allocate(spec_.error_allowance, allocation_,
                                      stats);
-  auto& om = CoordinatorMetrics::get();
+  const auto& om = CoordinatorMetrics::get();
   for (std::size_t i = 0; i < monitors_.size(); ++i) {
     monitors_[i]->set_error_allowance(allocation_[i]);
     if (spec_.error_allowance > 0.0)
-      om.allowance_share.observe(allocation_[i] / spec_.error_allowance);
+      om.allowance_share->observe(allocation_[i] / spec_.error_allowance);
     if (allocation_[i] != previous[i]) {
       obs::trace().record(obs::TraceKind::kAllowanceAdjusted, t,
                           static_cast<std::uint32_t>(i), allocation_[i],
@@ -110,7 +112,7 @@ void Coordinator::maybe_reallocate(Tick t) {
     }
   }
   ++reallocations_;
-  om.reallocations.inc();
+  om.reallocations->inc();
 }
 
 std::int64_t Coordinator::total_ops() const {

@@ -14,22 +14,24 @@ namespace volley {
 namespace {
 
 struct AllocationMetrics {
-  obs::Counter& uniform_skips;
-  obs::Counter& floor_clamps;
-  obs::Counter& reclaims;
+  obs::Counter* uniform_skips;
+  obs::Counter* floor_clamps;
+  obs::Counter* reclaims;
 
-  static AllocationMetrics& get() {
-    auto& m = obs::metrics();
-    static AllocationMetrics handles{
-        m.counter("volley_allocation_uniform_skips_total",
-                  "Reallocation rounds skipped because yields were within "
-                  "the uniformity band"),
-        m.counter("volley_allocation_floor_clamps_total",
-                  "Per-monitor assignments raised to the err/100 minimum"),
-        m.counter("volley_allowance_reclaims_total",
-                  "Dead monitors' allowance redistributed to survivors"),
+  static AllocationMetrics make(obs::MetricsRegistry& m) {
+    return AllocationMetrics{
+        &m.counter("volley_allocation_uniform_skips_total",
+                   "Reallocation rounds skipped because yields were within "
+                   "the uniformity band"),
+        &m.counter("volley_allocation_floor_clamps_total",
+                   "Per-monitor assignments raised to the err/100 minimum"),
+        &m.counter("volley_allowance_reclaims_total",
+                   "Dead monitors' allowance redistributed to survivors"),
     };
-    return handles;
+  }
+
+  static const AllocationMetrics& get() {
+    return obs::scoped_handles(&make);
   }
 };
 
@@ -72,7 +74,7 @@ std::vector<double> clamp_and_normalize(std::vector<double> alloc,
   for (double a : alloc) {
     if (a < floor_value) ++clamped;
   }
-  if (clamped > 0) AllocationMetrics::get().floor_clamps.inc(clamped);
+  if (clamped > 0) AllocationMetrics::get().floor_clamps->inc(clamped);
   for (int pass = 0; pass < 64; ++pass) {
     double deficit = 0.0;
     double above = 0.0;
@@ -125,7 +127,7 @@ std::vector<double> redistribute_allowance(
     }
   }
   if (alive.empty()) return out;
-  AllocationMetrics::get().reclaims.inc();
+  AllocationMetrics::get().reclaims->inc();
   obs::trace().record(obs::TraceKind::kAllowanceReclaimed, 0, 0,
                       static_cast<double>(alive.size()),
                       static_cast<double>(excluded.size()));
@@ -174,7 +176,7 @@ std::vector<double> AdaptiveAllocation::allocate(
   // Uniformity throttle: when all yields are within the band, reallocation
   // would only churn — keep the current assignment.
   if (min_y > 0.0 && max_y / min_y - 1.0 < options_.uniformity_band) {
-    AllocationMetrics::get().uniform_skips.inc();
+    AllocationMetrics::get().uniform_skips->inc();
     return out;
   }
 

@@ -51,40 +51,46 @@ void ViolationLikelihoodEstimator::observe(double value, Tick gap) {
 }
 
 bool ViolationLikelihoodEstimator::has_statistics() const {
-  return last_value_.has_value() &&
-         stats_.total_count() >= options_.min_observations &&
-         stats_.mean().has_value();
+  return snapshot_stats().has_value();
 }
 
 std::optional<DeltaStats> ViolationLikelihoodEstimator::delta_stats() const {
-  const auto mean = stats_.mean();
-  const auto sd = stats_.stddev();
-  if (!mean || !sd) return std::nullopt;
-  return DeltaStats{*mean, *sd};
+  const auto snap = stats_.snapshot();
+  if (!snap) return std::nullopt;
+  return DeltaStats{snap->mean, snap->stddev};
+}
+
+std::optional<DeltaStats> ViolationLikelihoodEstimator::snapshot_stats()
+    const {
+  if (!last_value_ || stats_.total_count() < options_.min_observations)
+    return std::nullopt;
+  return delta_stats();
 }
 
 double ViolationLikelihoodEstimator::beta_bound(double threshold,
                                                 Tick interval) const {
   if (interval < 1)
     throw std::invalid_argument("beta_bound: interval >= 1");
-  if (!has_statistics()) return 1.0;
-  const DeltaStats stats = *delta_stats();
+  const auto stats = snapshot_stats();
+  if (!stats) return 1.0;
   const double v = *last_value_;
   if (options_.bound == Bound::kGaussian) {
-    return beta_bound_with(v, threshold, stats, interval, gaussian_step_bound);
+    return beta_bound_with(v, threshold, *stats, interval,
+                           gaussian_step_bound);
   }
-  return beta_bound_with(v, threshold, stats, interval, chebyshev_step_bound);
+  return beta_bound_with(v, threshold, *stats, interval,
+                         chebyshev_step_bound);
 }
 
 double ViolationLikelihoodEstimator::violation_likelihood(double threshold,
                                                           Tick i) const {
   if (i < 1) throw std::invalid_argument("violation_likelihood: i >= 1");
-  if (!has_statistics()) return 1.0;
-  const DeltaStats stats = *delta_stats();
+  const auto stats = snapshot_stats();
+  if (!stats) return 1.0;
   if (options_.bound == Bound::kGaussian) {
-    return gaussian_step_bound(*last_value_, threshold, stats, i);
+    return gaussian_step_bound(*last_value_, threshold, *stats, i);
   }
-  return chebyshev_step_bound(*last_value_, threshold, stats, i);
+  return chebyshev_step_bound(*last_value_, threshold, *stats, i);
 }
 
 void ViolationLikelihoodEstimator::reset() {

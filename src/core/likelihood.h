@@ -66,6 +66,12 @@ double beta_bound_with(double value, double threshold, const DeltaStats& stats,
     const double p = step(value, threshold, stats, i);
     survive *= (1.0 - p);
     if (survive <= 0.0) return 1.0;
+    // Saturation early-exit: every remaining factor is in [0, 1], so
+    // `survive` can only shrink further — once `1.0 - survive` already
+    // rounds to exactly 1.0 in double precision, the final result is
+    // determined and the remaining (interval - i) step evaluations are
+    // pure waste. Bit-identical to the full product by construction.
+    if (1.0 - survive == 1.0) return 1.0;
   }
   return 1.0 - survive;
 }
@@ -109,6 +115,12 @@ class ViolationLikelihoodEstimator {
   void reset();
 
  private:
+  /// One delta-statistics resolution for a whole bound evaluation: checks
+  /// the cold-start guards and snapshots mean/stddev from a single pass
+  /// over the windowed estimator (beta_bound and violation_likelihood call
+  /// this exactly once per evaluation).
+  std::optional<DeltaStats> snapshot_stats() const;
+
   Options options_;
   WindowedStats stats_;
   std::optional<double> last_value_;

@@ -10,22 +10,22 @@ namespace volley {
 namespace {
 
 struct MonitorMetrics {
-  obs::Counter& scheduled;
-  obs::Counter& forced;
-  obs::Counter& violations;
+  obs::Counter* scheduled;
+  obs::Counter* forced;
+  obs::Counter* violations;
 
-  static MonitorMetrics& get() {
-    auto& m = obs::metrics();
-    static MonitorMetrics handles{
-        m.counter("volley_monitor_scheduled_ops_total",
-                  "Sampling operations on the monitor's own schedule"),
-        m.counter("volley_monitor_forced_ops_total",
-                  "Sampling operations forced by coordinator global polls"),
-        m.counter("volley_monitor_local_violations_total",
-                  "Samples that exceeded the monitor's local threshold T_i"),
+  static MonitorMetrics make(obs::MetricsRegistry& m) {
+    return MonitorMetrics{
+        &m.counter("volley_monitor_scheduled_ops_total",
+                   "Sampling operations on the monitor's own schedule"),
+        &m.counter("volley_monitor_forced_ops_total",
+                   "Sampling operations forced by coordinator global polls"),
+        &m.counter("volley_monitor_local_violations_total",
+                   "Samples that exceeded the monitor's local threshold T_i"),
     };
-    return handles;
   }
+
+  static const MonitorMetrics& get() { return obs::scoped_handles(&make); }
 };
 
 }  // namespace
@@ -62,17 +62,17 @@ Monitor::Outcome Monitor::sample_at(Tick t, SampleReason reason) {
   out.reason = reason;
   last_value_ = value;
   last_was_violation_ = out.local_violation;
-  auto& om = MonitorMetrics::get();
+  const auto& om = MonitorMetrics::get();
   if (out.local_violation) {
     ++local_violations_;
-    om.violations.inc();
+    om.violations->inc();
   }
   if (reason == SampleReason::kScheduled) {
     ++scheduled_ops_;
-    om.scheduled.inc();
+    om.scheduled->inc();
   } else {
     ++forced_ops_;
-    om.forced.inc();
+    om.forced->inc();
   }
   obs::trace().record(obs::TraceKind::kSampleTaken, t, id_, value,
                       reason == SampleReason::kScheduled ? 0.0 : 1.0);

@@ -20,33 +20,35 @@ std::int64_t now_ms() {
 }
 
 struct NetCoordinatorMetrics {
-  obs::Counter& heartbeats;
-  obs::Counter& suspects;
-  obs::Counter& deaths;
-  obs::Counter& recoveries;
-  obs::Counter& stale_polls;
-  obs::Counter& alerts;
-  obs::Counter& stats_requests;
+  obs::Counter* heartbeats;
+  obs::Counter* suspects;
+  obs::Counter* deaths;
+  obs::Counter* recoveries;
+  obs::Counter* stale_polls;
+  obs::Counter* alerts;
+  obs::Counter* stats_requests;
 
-  static NetCoordinatorMetrics& get() {
-    auto& m = obs::metrics();
-    static NetCoordinatorMetrics handles{
-        m.counter("volley_net_heartbeats_total",
-                  "Monitor heartbeats received and acked"),
-        m.counter("volley_net_suspects_total",
-                  "Active -> Suspect liveness transitions"),
-        m.counter("volley_net_deaths_total",
-                  "Suspect -> Dead liveness transitions"),
-        m.counter("volley_net_recoveries_total",
-                  "Suspect/Dead -> Active liveness transitions"),
-        m.counter("volley_net_stale_polls_total",
-                  "Global polls settled with at least one stale value"),
-        m.counter("volley_net_alerts_total",
-                  "State alerts raised by the wire coordinator"),
-        m.counter("volley_net_stats_requests_total",
-                  "StatsRequest introspection queries served"),
+  static NetCoordinatorMetrics make(obs::MetricsRegistry& m) {
+    return NetCoordinatorMetrics{
+        &m.counter("volley_net_heartbeats_total",
+                   "Monitor heartbeats received and acked"),
+        &m.counter("volley_net_suspects_total",
+                   "Active -> Suspect liveness transitions"),
+        &m.counter("volley_net_deaths_total",
+                   "Suspect -> Dead liveness transitions"),
+        &m.counter("volley_net_recoveries_total",
+                   "Suspect/Dead -> Active liveness transitions"),
+        &m.counter("volley_net_stale_polls_total",
+                   "Global polls settled with at least one stale value"),
+        &m.counter("volley_net_alerts_total",
+                   "State alerts raised by the wire coordinator"),
+        &m.counter("volley_net_stats_requests_total",
+                   "StatsRequest introspection queries served"),
     };
-    return handles;
+  }
+
+  static const NetCoordinatorMetrics& get() {
+    return obs::scoped_handles(&make);
   }
 };
 
@@ -140,11 +142,11 @@ void CoordinatorNode::finish_poll() {
   }
   if (stale) {
     ++fault_stats_.stale_polls;
-    NetCoordinatorMetrics::get().stale_polls.inc();
+    NetCoordinatorMetrics::get().stale_polls->inc();
   }
   if (sum > options_.global_threshold) {
     alerts_.push_back(GlobalAlert{active_poll_tick_, sum});
-    NetCoordinatorMetrics::get().alerts.inc();
+    NetCoordinatorMetrics::get().alerts->inc();
     obs::trace().record(obs::TraceKind::kAlertRaised, active_poll_tick_, 0,
                         sum, options_.global_threshold);
   }
@@ -191,7 +193,7 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
   session.state = MonitorLiveness::kSuspect;
   session.suspect_since_ms = now_ms();
   ++fault_stats_.suspected;
-  NetCoordinatorMetrics::get().suspects.inc();
+  NetCoordinatorMetrics::get().suspects->inc();
   obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
                       liveness_code(MonitorLiveness::kSuspect),
                       liveness_code(MonitorLiveness::kActive));
@@ -202,7 +204,7 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
 void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
   session.state = MonitorLiveness::kDead;
   ++fault_stats_.declared_dead;
-  NetCoordinatorMetrics::get().deaths.inc();
+  NetCoordinatorMetrics::get().deaths->inc();
   obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
                       liveness_code(MonitorLiveness::kDead),
                       liveness_code(MonitorLiveness::kSuspect));
@@ -241,7 +243,7 @@ void CoordinatorNode::redistribute_and_push() {
 
 void CoordinatorNode::serve_stats(TcpConnection& conn,
                                   const StatsRequest& request) {
-  NetCoordinatorMetrics::get().stats_requests.inc();
+  NetCoordinatorMetrics::get().stats_requests->inc();
   StatsReply reply;
   reply.global_polls = global_polls_;
   reply.reallocations = reallocations_;
@@ -302,7 +304,7 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     ++fault_stats_.reconnects;
     if (was_down) {
       ++fault_stats_.recovered;
-      NetCoordinatorMetrics::get().recoveries.inc();
+      NetCoordinatorMetrics::get().recoveries->inc();
       obs::trace().record(
           obs::TraceKind::kLivenessTransition, 0, id,
           liveness_code(MonitorLiveness::kActive),
@@ -332,14 +334,14 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
     // Any traffic from a suspect proves it alive again.
     session.state = MonitorLiveness::kActive;
     ++fault_stats_.recovered;
-    NetCoordinatorMetrics::get().recoveries.inc();
+    NetCoordinatorMetrics::get().recoveries->inc();
     obs::trace().record(obs::TraceKind::kLivenessTransition, 0, id,
                         liveness_code(MonitorLiveness::kActive),
                         liveness_code(MonitorLiveness::kSuspect));
   }
   if (const auto* heartbeat = std::get_if<Heartbeat>(&message)) {
     ++fault_stats_.heartbeats;
-    NetCoordinatorMetrics::get().heartbeats.inc();
+    NetCoordinatorMetrics::get().heartbeats->inc();
     send_to(id, session, HeartbeatAck{heartbeat->seq});
     return;
   }

@@ -19,21 +19,23 @@ std::int64_t now_ms() {
 }
 
 struct MonitorNodeMetrics {
-  obs::Counter& reconnect_attempts;
-  obs::Counter& reconnects;
-  obs::Counter& degraded_ticks;
+  obs::Counter* reconnect_attempts;
+  obs::Counter* reconnects;
+  obs::Counter* degraded_ticks;
 
-  static MonitorNodeMetrics& get() {
-    auto& m = obs::metrics();
-    static MonitorNodeMetrics handles{
-        m.counter("volley_net_reconnect_attempts_total",
-                  "Coordinator reconnect attempts (successes and failures)"),
-        m.counter("volley_net_reconnects_total",
-                  "Successful session resumes (Hello{resume} accepted)"),
-        m.counter("volley_net_degraded_ticks_total",
-                  "Ticks spent sampling in degraded (coordinator-less) mode"),
+  static MonitorNodeMetrics make(obs::MetricsRegistry& m) {
+    return MonitorNodeMetrics{
+        &m.counter("volley_net_reconnect_attempts_total",
+                   "Coordinator reconnect attempts (successes and failures)"),
+        &m.counter("volley_net_reconnects_total",
+                   "Successful session resumes (Hello{resume} accepted)"),
+        &m.counter("volley_net_degraded_ticks_total",
+                   "Ticks spent sampling in degraded (coordinator-less) mode"),
     };
-    return handles;
+  }
+
+  static const MonitorNodeMetrics& get() {
+    return obs::scoped_handles(&make);
   }
 };
 }  // namespace
@@ -94,12 +96,12 @@ bool MonitorNode::try_attach(bool resume) {
 void MonitorNode::maybe_reconnect(std::int64_t now) {
   if (connected_ || coordinator_lost_) return;
   if (now < next_attempt_ms_) return;
-  MonitorNodeMetrics::get().reconnect_attempts.inc();
+  MonitorNodeMetrics::get().reconnect_attempts->inc();
   if (try_attach(/*resume=*/ever_connected_)) {
     failed_attempts_ = 0;
     if (ever_connected_) {
       ++reconnects_;
-      MonitorNodeMetrics::get().reconnects.inc();
+      MonitorNodeMetrics::get().reconnects->inc();
       VLOG_INFO("monitor", "reconnected to coordinator (resume)");
     }
     ever_connected_ = true;
@@ -235,7 +237,7 @@ void MonitorNode::run() {
       const auto outcome = monitor_.force_sample(t);
       log_sample(outcome);
       ++degraded_ticks_;
-      MonitorNodeMetrics::get().degraded_ticks.inc();
+      MonitorNodeMetrics::get().degraded_ticks->inc();
     }
 
     std::this_thread::sleep_for(std::chrono::microseconds(options_.tick_micros));

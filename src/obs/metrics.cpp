@@ -40,7 +40,13 @@ std::string json_double(double v) {
   return fmt_double(v);
 }
 
+/// uid 0 is reserved as scoped_handles' "no registry seen yet" sentinel.
+std::atomic<std::uint64_t> next_registry_uid{1};
+
 }  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
@@ -181,9 +187,67 @@ std::size_t MetricsRegistry::size() const {
   return entries_.size();
 }
 
-MetricsRegistry& metrics() {
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (&other == this) return;
+  // std::scoped_lock acquires both mutexes deadlock-free regardless of the
+  // order two threads merge a pair of registries in.
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, theirs] : other.entries_) {
+    Entry& mine = entries_[name];
+    const bool mine_empty = !mine.counter && !mine.gauge && !mine.histogram;
+    if (mine.help.empty()) mine.help = theirs.help;
+    if (theirs.counter) {
+      if (!mine.counter) {
+        if (!mine_empty)
+          throw std::invalid_argument("MetricsRegistry::merge_from: " + name +
+                                      " registered with another type");
+        mine.counter = std::make_unique<Counter>();
+      }
+      mine.counter->inc(theirs.counter->value());
+    } else if (theirs.gauge) {
+      if (!mine.gauge) {
+        if (!mine_empty)
+          throw std::invalid_argument("MetricsRegistry::merge_from: " + name +
+                                      " registered with another type");
+        mine.gauge = std::make_unique<Gauge>();
+      }
+      mine.gauge->set(theirs.gauge->value());
+    } else if (theirs.histogram) {
+      const Histogram snap = theirs.histogram->snapshot();
+      if (!mine.histogram) {
+        if (!mine_empty)
+          throw std::invalid_argument("MetricsRegistry::merge_from: " + name +
+                                      " registered with another type");
+        mine.histogram = std::make_unique<HistogramMetric>(
+            snap.bin_lo(0), snap.bin_hi(snap.bins() - 1), snap.bins());
+      }
+      mine.histogram->merge(snap);
+    }
+  }
+}
+
+MetricsRegistry& global_metrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+namespace {
+/// The calling thread's current-registry binding (null = global).
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+}  // namespace
+
+MetricsRegistry& metrics() {
+  MetricsRegistry* current = tls_current_registry;
+  return current ? *current : global_metrics();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
+    : previous_(tls_current_registry) {
+  tls_current_registry = &registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  tls_current_registry = previous_;
 }
 
 }  // namespace volley::obs

@@ -18,8 +18,14 @@
 //     references returned by the registry stay valid for the registry's
 //     lifetime, so cached handles in samplers/monitors cannot dangle.
 //
-// `metrics()` returns the process-global registry every built-in
-// instrumentation point records into. Tests construct private registries.
+// `metrics()` returns the *current* registry: by default the process-global
+// one, but a `ScopedMetricsRegistry` can rebind the calling thread to a
+// private registry (and restores the previous binding on destruction).
+// Scoping is what makes experiment runs share-nothing: each run records
+// into its own registry (so `RunResult::metrics_json` is per-run and
+// parallel sweep workers never contend on shared counter cache lines), and
+// the run's registry is merged into the enclosing one afterwards so the
+// global registry keeps its cumulative Prometheus semantics.
 #pragma once
 
 #include <atomic>
@@ -76,6 +82,13 @@ class HistogramMetric {
     return hist_;
   }
 
+  /// Folds a snapshot of another histogram in (see Histogram::merge;
+  /// shapes must match).
+  void merge(const Histogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.merge(other);
+  }
+
   void reset() {
     std::lock_guard<std::mutex> lock(mu_);
     hist_ = Histogram(hist_.bin_lo(0), hist_.bin_hi(hist_.bins() - 1),
@@ -94,9 +107,15 @@ class HistogramMetric {
 /// std::invalid_argument).
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-unique, never-reused identity (a fresh registry at a recycled
+  /// address gets a new uid). What `scoped_handles` keys its cache on:
+  /// comparing addresses alone would let a cache built against a destroyed
+  /// stack registry survive into its same-address successor.
+  std::uint64_t uid() const { return uid_; }
 
   /// Finds or creates. `help` is attached on first registration (later
   /// calls may pass empty) and rendered as `# HELP` in the exposition.
@@ -120,6 +139,16 @@ class MetricsRegistry {
   /// cumulative (see file header).
   void reset();
 
+  /// Folds `other`'s instruments into this registry (parallel-shard
+  /// semantics, mirroring OnlineStats::merge): counters add, histograms
+  /// combine bin-by-bin (shapes must match), gauges adopt `other`'s value
+  /// when `other` has the gauge (last-writer-wins, instantaneous
+  /// semantics). Instruments only present in `other` are created here.
+  /// A name registered with different types on the two sides throws
+  /// std::invalid_argument. Thread-safe against concurrent use of either
+  /// registry; merging a registry into itself is a no-op.
+  void merge_from(const MetricsRegistry& other);
+
   std::size_t size() const;
 
  private:
@@ -130,11 +159,53 @@ class MetricsRegistry {
     std::unique_ptr<HistogramMetric> histogram;
   };
 
+  const std::uint64_t uid_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 
-/// The process-global registry all built-in instrumentation records into.
+/// The process-global registry (the default binding of `metrics()`).
+MetricsRegistry& global_metrics();
+
+/// The calling thread's current registry: the innermost active
+/// ScopedMetricsRegistry on this thread, or the process-global registry
+/// when none is active. All built-in instrumentation records through this.
 MetricsRegistry& metrics();
+
+/// RAII rebinding of `metrics()` for the calling thread. Scopes nest; the
+/// previous binding is restored on destruction. The registry must outlive
+/// the scope. Bindings are thread-local: a scope installed on one thread
+/// never affects another (each sweep worker installs its own).
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Per-thread cache of resolved instrument handles for one instrumentation
+/// site. `Handles` is a default-constructible struct of Counter*/Gauge*/
+/// HistogramMetric* members and `make` resolves them against a registry
+/// (taking the registration mutex once). The cache re-resolves whenever the
+/// calling thread's current registry changes — one integer compare on the
+/// hot path, so scoped registries keep the cached-handle pattern's
+/// lock-free increments. Keyed on the registry uid, not its address: run
+/// scopes allocate registries on the stack, and a successor at a recycled
+/// address must not inherit handles into its destroyed predecessor.
+template <typename Handles>
+const Handles& scoped_handles(Handles (*make)(MetricsRegistry&)) {
+  thread_local std::uint64_t owner_uid = 0;  // no registry has uid 0
+  thread_local Handles handles{};
+  MetricsRegistry& m = metrics();
+  if (m.uid() != owner_uid) {
+    handles = make(m);
+    owner_uid = m.uid();
+  }
+  return handles;
+}
 
 }  // namespace volley::obs

@@ -182,9 +182,26 @@ void TraceSink::clear() {
   ring_.clear();
 }
 
-TraceSink& trace() {
+TraceSink& global_trace() {
   static TraceSink sink;
   return sink;
 }
+
+namespace {
+/// The calling thread's current-sink binding (null = global).
+thread_local TraceSink* tls_current_sink = nullptr;
+}  // namespace
+
+TraceSink& trace() {
+  TraceSink* current = tls_current_sink;
+  return current ? *current : global_trace();
+}
+
+ScopedTraceSink::ScopedTraceSink(TraceSink& sink)
+    : previous_(tls_current_sink) {
+  tls_current_sink = &sink;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { tls_current_sink = previous_; }
 
 }  // namespace volley::obs

@@ -114,7 +114,27 @@ class TraceSink {
   std::int64_t dropped_{0};
 };
 
-/// The process-global sink all built-in instrumentation records into.
+/// The process-global sink (the default binding of `trace()`).
+TraceSink& global_trace();
+
+/// The calling thread's current sink: the innermost active ScopedTraceSink
+/// on this thread, or the process-global sink when none is active. All
+/// built-in instrumentation records through this.
 TraceSink& trace();
+
+/// RAII rebinding of `trace()` for the calling thread, mirroring
+/// obs::ScopedMetricsRegistry: parallel sweep workers give each run a
+/// private sink so hot-path trace recording never contends on the global
+/// ring's mutex. Scopes nest and are thread-local.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink& sink);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* previous_;
+};
 
 }  // namespace volley::obs

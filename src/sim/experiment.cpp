@@ -63,6 +63,8 @@ void score_detection(RunResult& result, const GroundTruth& truth,
                           static_cast<double>(end - start));
     }
   }
+  // Snapshots the *current* registry — the run-scoped one installed by the
+  // experiment drivers — so the result carries only this run's counters.
   result.metrics_json = obs::metrics().to_json();
 }
 

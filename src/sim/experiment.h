@@ -54,10 +54,13 @@ struct RunResult {
   std::vector<std::vector<Tick>> op_ticks;   // per monitor
   std::vector<Tick> interval_trajectory;     // monitor 0's interval per op
 
-  // Observability side: JSON snapshot of the process-global metrics
-  // registry (obs/metrics.h) taken when the run finished. Counters are
-  // cumulative over the process (Prometheus semantics) — compare snapshots
-  // across runs for per-run deltas.
+  // Observability side: JSON snapshot of the *run-scoped* metrics registry
+  // (obs/metrics.h) taken when the run finished. Each experiment driver
+  // (sim/runner.h) executes under a private registry, so these counters
+  // cover exactly this run — not a cumulative cross-run total — and are
+  // identical whether the run executed serially or inside a parallel
+  // sweep. The process-global registry still accumulates every run's
+  // counters via registry merging.
   std::string metrics_json;
 
   std::int64_t total_ops() const { return scheduled_ops + forced_ops; }

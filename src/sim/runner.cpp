@@ -5,6 +5,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace volley {
 
 namespace {
@@ -19,12 +21,42 @@ std::unique_ptr<AllowanceAllocator> make_allocator(AllocatorKind kind) {
   }
   throw std::invalid_argument("make_allocator: unknown kind");
 }
+
+/// Per-run registry scope: instrumentation inside `body` records into a
+/// fresh registry (so the RunResult's metrics_json is run-scoped), which is
+/// then folded into the registry that was current at entry — cumulative
+/// totals survive, and parallel runs never share counter cache lines.
+template <typename Body>
+auto with_run_registry(Body&& body) {
+  obs::MetricsRegistry& parent = obs::metrics();
+  obs::MetricsRegistry run_registry;
+  decltype(body()) result;
+  {
+    obs::ScopedMetricsRegistry scope(run_registry);
+    result = body();
+  }
+  parent.merge_from(run_registry);
+  return result;
+}
+
 }  // namespace
 
 RunResult run_volley(const TaskSpec& spec,
                      std::span<const TimeSeries> monitor_series,
                      std::span<const double> local_thresholds,
                      const RunOptions& options) {
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_volley: no monitors");
+  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+  const GroundTruth truth =
+      GroundTruth::from_series(aggregate, spec.global_threshold);
+  return run_volley(spec, monitor_series, local_thresholds, truth, options);
+}
+
+RunResult run_volley(const TaskSpec& spec,
+                     std::span<const TimeSeries> monitor_series,
+                     std::span<const double> local_thresholds,
+                     const GroundTruth& truth, const RunOptions& options) {
   spec.validate();
   if (monitor_series.empty())
     throw std::invalid_argument("run_volley: no monitors");
@@ -45,63 +77,62 @@ RunResult run_volley(const TaskSpec& spec,
           "run_volley: local thresholds must sum to the global threshold");
   }
 
-  // Sources must outlive the monitors.
-  std::vector<std::unique_ptr<SeriesSource>> sources;
-  sources.reserve(monitor_series.size());
-  for (const auto& s : monitor_series)
-    sources.push_back(std::make_unique<SeriesSource>(s));
+  return with_run_registry([&]() {
+    // Sources must outlive the monitors.
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    sources.reserve(monitor_series.size());
+    for (const auto& s : monitor_series)
+      sources.push_back(std::make_unique<SeriesSource>(s));
 
-  std::vector<std::unique_ptr<Monitor>> monitors;
-  monitors.reserve(monitor_series.size());
-  for (std::size_t i = 0; i < monitor_series.size(); ++i) {
-    // The per-monitor allowance is overwritten by the coordinator's initial
-    // even split; pass the task-level value as a placeholder.
-    monitors.push_back(std::make_unique<Monitor>(
-        static_cast<MonitorId>(i), *sources[i],
-        spec.sampler_options(spec.error_allowance), local_thresholds[i]));
-  }
-  Coordinator coordinator(spec, std::move(monitors),
-                          make_allocator(options.allocator));
+    std::vector<std::unique_ptr<Monitor>> monitors;
+    monitors.reserve(monitor_series.size());
+    for (std::size_t i = 0; i < monitor_series.size(); ++i) {
+      // The per-monitor allowance is overwritten by the coordinator's
+      // initial even split; pass the task-level value as a placeholder.
+      monitors.push_back(std::make_unique<Monitor>(
+          static_cast<MonitorId>(i), *sources[i],
+          spec.sampler_options(spec.error_allowance), local_thresholds[i]));
+    }
+    Coordinator coordinator(spec, std::move(monitors),
+                            make_allocator(options.allocator));
 
-  RunResult result;
-  result.ticks = ticks;
-  result.monitors = monitor_series.size();
-  std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
-  std::vector<std::int64_t> prev_ops(monitor_series.size(), 0);
-  if (options.record_ops) result.op_ticks.resize(monitor_series.size());
+    RunResult result;
+    result.ticks = ticks;
+    result.monitors = monitor_series.size();
+    std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
+    std::vector<std::int64_t> prev_ops(monitor_series.size(), 0);
+    if (options.record_ops) result.op_ticks.resize(monitor_series.size());
 
-  for (Tick t = 0; t < ticks; ++t) {
-    const auto tick = coordinator.run_tick(t);
-    if (tick.global_violation) detected[static_cast<std::size_t>(t)] = 1;
-    result.local_violations += tick.local_violations;
-    if (options.record_ops || options.record_intervals) {
-      for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
-        const std::int64_t ops = coordinator.monitor(i).total_ops();
-        if (ops != prev_ops[i]) {
-          prev_ops[i] = ops;
-          if (options.record_ops)
-            result.op_ticks[i].push_back(t);
-          if (options.record_intervals && i == 0)
-            result.interval_trajectory.push_back(
-                coordinator.monitor(0).interval());
+    for (Tick t = 0; t < ticks; ++t) {
+      const auto tick = coordinator.run_tick(t);
+      if (tick.global_violation) detected[static_cast<std::size_t>(t)] = 1;
+      result.local_violations += tick.local_violations;
+      if (options.record_ops || options.record_intervals) {
+        for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+          const std::int64_t ops = coordinator.monitor(i).total_ops();
+          if (ops != prev_ops[i]) {
+            prev_ops[i] = ops;
+            if (options.record_ops)
+              result.op_ticks[i].push_back(t);
+            if (options.record_intervals && i == 0)
+              result.interval_trajectory.push_back(
+                  coordinator.monitor(0).interval());
+          }
         }
       }
     }
-  }
 
-  for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
-    result.scheduled_ops += coordinator.monitor(i).scheduled_ops();
-    result.forced_ops += coordinator.monitor(i).forced_ops();
-  }
-  result.total_cost = coordinator.total_cost();
-  result.global_polls = coordinator.global_polls();
-  result.reallocations = coordinator.reallocations();
+    for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+      result.scheduled_ops += coordinator.monitor(i).scheduled_ops();
+      result.forced_ops += coordinator.monitor(i).forced_ops();
+    }
+    result.total_cost = coordinator.total_cost();
+    result.global_polls = coordinator.global_polls();
+    result.reallocations = coordinator.reallocations();
 
-  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
-  const GroundTruth truth =
-      GroundTruth::from_series(aggregate, spec.global_threshold);
-  score_detection(result, truth, detected);
-  return result;
+    score_detection(result, truth, detected);
+    return result;
+  });
 }
 
 RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
@@ -109,6 +140,14 @@ RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
   const double threshold[] = {spec.global_threshold};
   return run_volley(spec, std::span<const TimeSeries>(&series, 1), threshold,
                     options);
+}
+
+RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
+                            const GroundTruth& truth,
+                            const RunOptions& options) {
+  const double threshold[] = {spec.global_threshold};
+  return run_volley(spec, std::span<const TimeSeries>(&series, 1), threshold,
+                    truth, options);
 }
 
 RunResult run_periodic(std::span<const TimeSeries> monitor_series,
@@ -122,24 +161,26 @@ RunResult run_periodic(std::span<const TimeSeries> monitor_series,
       throw std::invalid_argument("run_periodic: series length mismatch");
   }
 
-  RunResult result;
-  result.ticks = ticks;
-  result.monitors = monitor_series.size();
-  std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
-  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
-  for (Tick t = 0; t < ticks; t += interval) {
-    result.scheduled_ops += static_cast<std::int64_t>(monitor_series.size());
-    result.total_cost += static_cast<double>(monitor_series.size());
-    const auto i = static_cast<std::size_t>(t);
-    if (aggregate[i] > global_threshold) {
-      detected[i] = 1;
-      ++result.global_polls;
+  return with_run_registry([&]() {
+    RunResult result;
+    result.ticks = ticks;
+    result.monitors = monitor_series.size();
+    std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
+    const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+    for (Tick t = 0; t < ticks; t += interval) {
+      result.scheduled_ops += static_cast<std::int64_t>(monitor_series.size());
+      result.total_cost += static_cast<double>(monitor_series.size());
+      const auto i = static_cast<std::size_t>(t);
+      if (aggregate[i] > global_threshold) {
+        detected[i] = 1;
+        ++result.global_polls;
+      }
     }
-  }
-  const GroundTruth truth =
-      GroundTruth::from_series(aggregate, global_threshold);
-  score_detection(result, truth, detected);
-  return result;
+    const GroundTruth truth =
+        GroundTruth::from_series(aggregate, global_threshold);
+    score_detection(result, truth, detected);
+    return result;
+  });
 }
 
 std::int64_t CorrelatedGroupResult::total_ops() const {
@@ -174,6 +215,10 @@ CorrelatedGroupResult run_correlated_group(
           "run_correlated_group: series length mismatch");
   }
 
+  // One registry scope for the whole group: each per-task RunResult's
+  // metrics_json snapshots the group's registry (the tasks interleave on
+  // one tick loop, so a finer scope would misattribute shared work).
+  return with_run_registry([&]() {
   CorrelationScheduler scheduler(scheduler_options);
   std::vector<std::unique_ptr<SeriesSource>> sources;
   std::vector<std::unique_ptr<Monitor>> monitors;
@@ -226,6 +271,7 @@ CorrelatedGroupResult run_correlated_group(
     score_detection(r, truth, detected[i]);
   }
   return result;
+  });
 }
 
 }  // namespace volley

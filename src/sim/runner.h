@@ -35,13 +35,36 @@ struct RunOptions {
 /// Runs Volley over a distributed task: one monitor per series, with the
 /// given local thresholds (must sum to the spec's global threshold for the
 /// no-communication-when-quiet property to hold; this is asserted).
+///
+/// Every run executes under a *private* metrics registry (obs/metrics.h):
+/// RunResult::metrics_json snapshots only the run's own counters, and the
+/// private registry is merged into the caller's current registry when the
+/// run finishes, preserving cumulative process-level totals. Runs confine
+/// all other state to the calling thread, so independent runs are
+/// share-nothing and safe to fan out in parallel (sim/sweep.h).
 RunResult run_volley(const TaskSpec& spec,
                      std::span<const TimeSeries> monitor_series,
                      std::span<const double> local_thresholds,
                      const RunOptions& options = {});
 
+/// run_volley against precomputed ground truth. A parameter sweep re-runs
+/// the same series under many (err, k) settings; the aggregate series and
+/// its GroundTruth are identical across those cells, so computing them once
+/// (GroundTruth::from_series over TimeSeries::sum) and passing them in
+/// removes an O(ticks x monitors) recomputation from every run. `truth`
+/// must have been built from these series at spec.global_threshold.
+RunResult run_volley(const TaskSpec& spec,
+                     std::span<const TimeSeries> monitor_series,
+                     std::span<const double> local_thresholds,
+                     const GroundTruth& truth, const RunOptions& options = {});
+
 /// Single-monitor convenience: the local threshold is the global one.
 RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
+                            const RunOptions& options = {});
+
+/// Single-monitor form with precomputed ground truth (see above).
+RunResult run_volley_single(const TaskSpec& spec, const TimeSeries& series,
+                            const GroundTruth& truth,
                             const RunOptions& options = {});
 
 /// Periodic-sampling baseline: every monitor samples every `interval` ticks

@@ -34,6 +34,18 @@ void Histogram::add_n(double x, std::int64_t n) {
   sum_ += x * static_cast<double>(n);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: shape mismatch");
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  sum_ += other.sum_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
   return lo_ + static_cast<double>(bin) * bin_width_;

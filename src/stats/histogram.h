@@ -21,6 +21,12 @@ class Histogram {
   void add(double x);
   void add_n(double x, std::int64_t n);
 
+  /// Adds every observation of `other` into this histogram. Both must share
+  /// the same [lo, hi) range and bin count (throws otherwise); counts,
+  /// under/overflow, and the running sum combine exactly, so merging K
+  /// shard histograms equals observing the concatenated stream.
+  void merge(const Histogram& other);
+
   std::int64_t count() const { return total_; }
   std::int64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t bins() const { return counts_.size(); }

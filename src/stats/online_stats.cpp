@@ -81,4 +81,10 @@ std::optional<double> WindowedStats::stddev() const {
   return s.stddev();
 }
 
+std::optional<WindowedStats::Snapshot> WindowedStats::snapshot() const {
+  const OnlineStats& s = active();
+  if (s.count() == 0) return std::nullopt;
+  return Snapshot{s.mean(), s.stddev()};
+}
+
 }  // namespace volley

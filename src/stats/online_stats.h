@@ -61,6 +61,15 @@ class WindowedStats {
   std::optional<double> mean() const;
   std::optional<double> stddev() const;
 
+  /// Both statistics from one resolution of the active window — the
+  /// hot-path form (beta_bound evaluates this once per call chain instead
+  /// of resolving mean and stddev independently).
+  struct Snapshot {
+    double mean{0.0};
+    double stddev{0.0};
+  };
+  std::optional<Snapshot> snapshot() const;
+
   std::int64_t window() const { return window_; }
   /// Samples in the currently accumulating window.
   std::int64_t current_count() const { return current_.count(); }

@@ -319,6 +319,163 @@ TEST(Trace, ConcurrentRecordsKeepAllSequenceNumbersUnique) {
 }
 
 // ---------------------------------------------------------------------------
+// Scoped registries and registry merging (the parallel-sweep contract).
+
+TEST(ScopedMetrics, RebindsCurrentRegistryAndRestoresOnExit) {
+  MetricsRegistry inner;
+  MetricsRegistry& before = metrics();
+  {
+    ScopedMetricsRegistry scope(inner);
+    EXPECT_EQ(&metrics(), &inner);
+    metrics().counter("scoped_events_total").inc();
+  }
+  EXPECT_EQ(&metrics(), &before);
+  EXPECT_EQ(inner.counter("scoped_events_total").value(), 1);
+}
+
+TEST(ScopedMetrics, ScopesNest) {
+  MetricsRegistry outer, inner;
+  ScopedMetricsRegistry outer_scope(outer);
+  {
+    ScopedMetricsRegistry inner_scope(inner);
+    EXPECT_EQ(&metrics(), &inner);
+  }
+  EXPECT_EQ(&metrics(), &outer);
+}
+
+TEST(ScopedMetrics, BindingIsThreadLocal) {
+  MetricsRegistry mine;
+  ScopedMetricsRegistry scope(mine);
+  MetricsRegistry* seen_on_other_thread = nullptr;
+  std::thread other([&] { seen_on_other_thread = &metrics(); });
+  other.join();
+  EXPECT_EQ(seen_on_other_thread, &global_metrics());
+  EXPECT_EQ(&metrics(), &mine);
+}
+
+TEST(ScopedMetrics, HandleCacheFollowsScopeAcrossReusedAddresses) {
+  // Regression: scoped_handles used to key its thread-local cache on the
+  // registry *address*. Successive run scopes put their registries at the
+  // same stack address, so the second scope inherited handles into the
+  // first (destroyed) registry. The uid key must re-resolve every time.
+  struct Handles {
+    Counter* events{nullptr};
+    static Handles make(MetricsRegistry& m) {
+      return Handles{&m.counter("cache_follow_events_total")};
+    }
+  };
+  for (int round = 0; round < 3; ++round) {
+    MetricsRegistry run_registry;
+    ScopedMetricsRegistry scope(run_registry);
+    scoped_handles<Handles>(&Handles::make).events->inc();
+    EXPECT_EQ(run_registry.counter("cache_follow_events_total").value(), 1)
+        << "round " << round;
+  }
+}
+
+TEST(MetricsMerge, CountersAdd) {
+  MetricsRegistry a, b;
+  a.counter("events_total").inc(5);
+  b.counter("events_total").inc(7);
+  b.counter("only_b_total").inc(2);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("events_total").value(), 12);
+  EXPECT_EQ(a.counter("only_b_total").value(), 2);
+  // The source is unchanged.
+  EXPECT_EQ(b.counter("events_total").value(), 7);
+}
+
+TEST(MetricsMerge, GaugesAdoptSourceValue) {
+  MetricsRegistry a, b;
+  a.gauge("level").set(1.0);
+  b.gauge("level").set(4.0);
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(a.gauge("level").value(), 4.0);
+}
+
+TEST(MetricsMerge, HistogramsCombineBinWise) {
+  MetricsRegistry a, b;
+  auto& ha = a.histogram("latency", 0.0, 10.0, 10);
+  auto& hb = b.histogram("latency", 0.0, 10.0, 10);
+  ha.observe(1.5);
+  ha.observe(25.0);  // overflow
+  hb.observe(1.5);
+  hb.observe(-3.0);  // underflow
+  a.merge_from(b);
+  const Histogram h = ha.snapshot();
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bin_count(1), 2);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.underflow(), 1);
+}
+
+TEST(MetricsMerge, MismatchedHistogramShapesThrow) {
+  MetricsRegistry a, b;
+  a.histogram("latency", 0.0, 10.0, 10);
+  b.histogram("latency", 0.0, 20.0, 10).observe(1.0);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(MetricsMerge, TypeConflictThrows) {
+  MetricsRegistry a, b;
+  a.counter("thing");
+  b.gauge("thing").set(1.0);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(MetricsMerge, SelfMergeIsNoop) {
+  MetricsRegistry a;
+  a.counter("events_total").inc(3);
+  a.merge_from(a);
+  EXPECT_EQ(a.counter("events_total").value(), 3);
+}
+
+TEST(MetricsMerge, ShardsMatchSingleRegistry) {
+  // Property: recording a stream into K shard registries and merging them
+  // is equivalent to recording the whole stream into one registry —
+  // the same law OnlineStats::merge obeys, at the registry level.
+  Rng rng(17);
+  constexpr int kShards = 4;
+  MetricsRegistry whole;
+  MetricsRegistry shards[kShards];
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1.0, 11.0);
+    MetricsRegistry& shard = shards[i % kShards];
+    whole.counter("events_total").inc();
+    shard.counter("events_total").inc();
+    whole.histogram("values", 0.0, 10.0, 20).observe(x);
+    shard.histogram("values", 0.0, 10.0, 20).observe(x);
+  }
+  MetricsRegistry merged;
+  for (const auto& shard : shards) merged.merge_from(shard);
+  EXPECT_EQ(merged.counter("events_total").value(),
+            whole.counter("events_total").value());
+  const Histogram hm = merged.histogram("values", 0.0, 10.0, 20).snapshot();
+  const Histogram hw = whole.histogram("values", 0.0, 10.0, 20).snapshot();
+  EXPECT_EQ(hm.count(), hw.count());
+  EXPECT_EQ(hm.underflow(), hw.underflow());
+  EXPECT_EQ(hm.overflow(), hw.overflow());
+  for (std::size_t b = 0; b < hw.bins(); ++b) {
+    EXPECT_EQ(hm.bin_count(b), hw.bin_count(b)) << "bin " << b;
+  }
+  // Merging adds the shards' partial sums, so the mean can differ from the
+  // sequential stream's in the last ulp — equal within 1e-12, not bitwise.
+  EXPECT_NEAR(hm.mean(), hw.mean(), 1e-12);
+}
+
+TEST(ScopedTrace, RebindsSinkAndRestores) {
+  TraceSink mine(16);
+  TraceSink& before = trace();
+  {
+    ScopedTraceSink scope(mine);
+    EXPECT_EQ(&trace(), &mine);
+    trace().record(TraceKind::kSampleTaken, 1, 0, 0.5);
+  }
+  EXPECT_EQ(&trace(), &before);
+  EXPECT_EQ(mine.snapshot().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Sim integration: every RunResult carries a metrics snapshot.
 
 TEST(ObsIntegration, SimRunEmbedsNonZeroMetricsSnapshot) {

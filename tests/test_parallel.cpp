@@ -1,0 +1,254 @@
+// Tests for the parallel experiment engine: the thread pool (common/
+// thread_pool.h) and the sweep layer (sim/sweep.h), including the sweep's
+// determinism guarantee — parallel results byte-identical to the serial
+// loop — and the run-scoped metrics contract it depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+
+namespace volley {
+namespace {
+
+TimeSeries noisy_series(Tick ticks, std::uint64_t seed, double spike_at = -1) {
+  Rng rng(seed);
+  TimeSeries s(static_cast<std::size_t>(ticks));
+  for (Tick t = 0; t < ticks; ++t) {
+    s[static_cast<std::size_t>(t)] = rng.normal(0.0, 0.1);
+  }
+  if (spike_at >= 0) s[static_cast<std::size_t>(spike_at)] = 10.0;
+  return s;
+}
+
+TaskSpec small_spec(double err) {
+  TaskSpec spec;
+  spec.global_threshold = 5.0;
+  spec.error_allowance = err;
+  spec.max_interval = 16;
+  spec.patience = 5;
+  spec.updating_period = 200;
+  return spec;
+}
+
+// Full-field equality: the sweep promises byte-identical results, so
+// doubles are compared exactly, not within a tolerance.
+void expect_same_result(const RunResult& a, const RunResult& b,
+                        std::size_t index) {
+  EXPECT_EQ(a.ticks, b.ticks) << "run " << index;
+  EXPECT_EQ(a.monitors, b.monitors) << "run " << index;
+  EXPECT_EQ(a.scheduled_ops, b.scheduled_ops) << "run " << index;
+  EXPECT_EQ(a.forced_ops, b.forced_ops) << "run " << index;
+  EXPECT_EQ(a.total_cost, b.total_cost) << "run " << index;
+  EXPECT_EQ(a.true_alert_ticks, b.true_alert_ticks) << "run " << index;
+  EXPECT_EQ(a.detected_alert_ticks, b.detected_alert_ticks)
+      << "run " << index;
+  EXPECT_EQ(a.true_episodes, b.true_episodes) << "run " << index;
+  EXPECT_EQ(a.detected_episodes, b.detected_episodes) << "run " << index;
+  EXPECT_EQ(a.local_violations, b.local_violations) << "run " << index;
+  EXPECT_EQ(a.global_polls, b.global_polls) << "run " << index;
+  EXPECT_EQ(a.reallocations, b.reallocations) << "run " << index;
+  EXPECT_EQ(a.op_ticks, b.op_ticks) << "run " << index;
+  EXPECT_EQ(a.interval_trajectory, b.interval_trajectory) << "run " << index;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "run " << index;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 17)
+                                     throw std::invalid_argument("bad index");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvironment) {
+  ::setenv("VOLLEY_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ::setenv("VOLLEY_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ::unsetenv("VOLLEY_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// sim::sweep
+
+TEST(Sweep, ResultsAreInputOrdered) {
+  sim::SweepOptions options;
+  options.threads = 4;
+  const auto results = sim::sweep(
+      64,
+      [](std::size_t i) {
+        RunResult r;
+        r.ticks = static_cast<Tick>(i);
+        return r;
+      },
+      options);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].ticks, static_cast<Tick>(i));
+  }
+}
+
+TEST(Sweep, ParallelMatchesSerialLoopByteForByte) {
+  // A small grid of real runs: same series under several allowances, plus
+  // distinct series — the shape of a figure bench, scaled down.
+  std::vector<TimeSeries> series;
+  series.push_back(noisy_series(600, 11, 200));
+  series.push_back(noisy_series(600, 12, 350));
+  series.push_back(noisy_series(600, 13));
+  const double errs[] = {0.005, 0.02, 0.08};
+
+  std::vector<sim::SweepCell> cells;
+  for (double err : errs) {
+    for (const auto& s : series) {
+      sim::SweepCell cell;
+      cell.spec = small_spec(err);
+      cell.series = &s;
+      cells.push_back(cell);
+    }
+  }
+
+  // The reference: the plain serial loop the sweep documents itself
+  // against, under the same per-run registry scoping runs always get.
+  std::vector<RunResult> reference;
+  for (const auto& cell : cells) {
+    reference.push_back(run_volley_single(cell.spec, *cell.series));
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    sim::SweepOptions options;
+    options.threads = threads;
+    const auto results = sim::sweep(cells, options);
+    ASSERT_EQ(results.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      expect_same_result(reference[i], results[i], i);
+    }
+  }
+}
+
+TEST(Sweep, PrecomputedTruthMatchesRecomputed) {
+  const TimeSeries s = noisy_series(600, 21, 300);
+  const TaskSpec spec = small_spec(0.02);
+  const GroundTruth truth =
+      GroundTruth::from_series(s, spec.global_threshold);
+
+  sim::SweepCell with_truth;
+  with_truth.spec = spec;
+  with_truth.series = &s;
+  with_truth.truth = &truth;
+  sim::SweepCell without_truth;
+  without_truth.spec = spec;
+  without_truth.series = &s;
+
+  const sim::SweepCell cells[] = {with_truth, without_truth};
+  const auto results = sim::sweep(cells, {});
+  ASSERT_EQ(results.size(), 2u);
+  expect_same_result(results[0], results[1], 0);
+}
+
+TEST(Sweep, MergesJobCountersIntoCallerRegistry) {
+  obs::MetricsRegistry caller;
+  obs::ScopedMetricsRegistry scope(caller);
+  sim::SweepOptions options;
+  options.threads = 4;
+  sim::sweep(
+      32,
+      [](std::size_t) {
+        obs::metrics().counter("test_sweep_jobs_total").inc();
+        return RunResult{};
+      },
+      options);
+  // Every job ran under a private registry; all 32 increments must have
+  // been folded back into the caller's scope.
+  EXPECT_EQ(caller.counter("test_sweep_jobs_total").value(), 32);
+}
+
+TEST(Sweep, CellWithoutSeriesThrows) {
+  const sim::SweepCell cells[] = {sim::SweepCell{}};
+  EXPECT_THROW(sim::sweep(cells, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Run-scoped metrics (the regression that motivated scoping: RunResult
+// snapshots used to read the cumulative global registry).
+
+TEST(RunScopedMetrics, BackToBackRunsReportNonCumulativeCounts) {
+  const TimeSeries s = noisy_series(800, 31, 400);
+  const TaskSpec spec = small_spec(0.02);
+  const auto first = run_volley_single(spec, s);
+  const auto second = run_volley_single(spec, s);
+  ASSERT_FALSE(first.metrics_json.empty());
+  // Identical runs must report identical snapshots; before run scoping the
+  // second run's snapshot carried both runs' counts.
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+TEST(RunScopedMetrics, RunCountersStillReachEnclosingRegistry) {
+  obs::MetricsRegistry caller;
+  std::int64_t per_run = 0;
+  {
+    obs::ScopedMetricsRegistry scope(caller);
+    const TimeSeries s = noisy_series(800, 32, 400);
+    run_volley_single(small_spec(0.02), s);
+    per_run =
+        caller.counter("volley_sampler_observations_total").value();
+    run_volley_single(small_spec(0.02), s);
+  }
+  EXPECT_GT(per_run, 0);
+  // Two identical runs: the enclosing registry accumulates both.
+  EXPECT_EQ(caller.counter("volley_sampler_observations_total").value(),
+            2 * per_run);
+}
+
+}  // namespace
+}  // namespace volley

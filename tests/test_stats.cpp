@@ -76,6 +76,31 @@ TEST(OnlineStats, MergeWithEmptyIsNoop) {
   EXPECT_DOUBLE_EQ(b.mean(), mean);
 }
 
+TEST(OnlineStats, MergePropertyShardsMatchConcatenatedStream) {
+  // Parallel-Welford law: splitting a stream across K shards (any
+  // interleaving) and merging gives the statistics of the concatenated
+  // stream. This is what registry merging in parallel sweeps leans on.
+  for (int shard_count : {2, 3, 5, 8}) {
+    Rng rng(static_cast<std::uint64_t>(100 + shard_count));
+    OnlineStats whole;
+    std::vector<OnlineStats> shards(static_cast<std::size_t>(shard_count));
+    for (int i = 0; i < 2000; ++i) {
+      const double x = rng.normal(-3.0, 7.0);
+      whole.add(x);
+      shards[static_cast<std::size_t>(
+                 rng.uniform_int(0, shard_count - 1))]
+          .add(x);
+    }
+    OnlineStats merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    EXPECT_EQ(merged.count(), whole.count()) << shard_count << " shards";
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12)
+        << shard_count << " shards";
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12)
+        << shard_count << " shards";
+  }
+}
+
 TEST(OnlineStats, ResetClears) {
   OnlineStats s;
   s.add(10.0);
@@ -104,6 +129,23 @@ TEST(WindowedStats, RestartsAfterWindow) {
   s.add(0.0);
   EXPECT_EQ(s.current_count(), 1);
   EXPECT_NEAR(*s.mean(), 0.0, 1e-12);
+}
+
+TEST(WindowedStats, SnapshotMatchesAccessorsThroughRestartAndWarmup) {
+  // The hot-path snapshot() must agree with the mean()/stddev() accessors
+  // at every step, in particular across window restarts while the fresh
+  // window is still warming up (when both fall back to the previous
+  // window's statistics).
+  WindowedStats s(/*window=*/10, /*warmup=*/4);
+  EXPECT_FALSE(s.snapshot().has_value());
+  Rng rng(7);
+  for (int i = 0; i < 35; ++i) {
+    s.add(rng.normal(1.0, 2.0));
+    const auto snap = s.snapshot();
+    ASSERT_TRUE(snap.has_value()) << "sample " << i;
+    EXPECT_DOUBLE_EQ(snap->mean, *s.mean()) << "sample " << i;
+    EXPECT_DOUBLE_EQ(snap->stddev, *s.stddev()) << "sample " << i;
+  }
 }
 
 TEST(WindowedStats, WarmupServesPreviousWindow) {
