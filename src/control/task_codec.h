@@ -1,0 +1,65 @@
+// Binary codec for task specifications and registry records.
+//
+// One serialization, two consumers: the wire protocol (net/messages.h
+// carries TaskSpec payloads inside AddTask/UpdateTask frames) and the
+// durable registry store (control/registry_store.h journals TaskRecords).
+// Keeping the byte layout here means a journaled record and a wire frame
+// never drift apart — a spec accepted over the wire round-trips through the
+// journal bit-for-bit.
+//
+// Layout (little-endian, fixed-width):
+//   TaskSpec:   f64 global_threshold | f64 error_allowance | f64 id_seconds |
+//               i64 max_interval | f64 slack_ratio | i32 patience |
+//               i64 updating_period | i64 stats_window | i64 stats_warmup |
+//               i64 min_observations | u8 bound
+//   TaskRecord: u32 id | u64 epoch | TaskSpec
+//
+// Decoding is total: truncated or out-of-range input returns false and
+// leaves the cursor unspecified; nothing throws, because both consumers
+// read bytes that may have crossed a network or survived a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/task.h"
+#include "core/types.h"
+
+namespace volley::control {
+
+/// One versioned entry of the task registry: the spec plus the epoch of its
+/// latest revision (epochs are globally monotone across the registry, so a
+/// higher epoch always means a strictly newer revision — see
+/// control/task_registry.h).
+struct TaskRecord {
+  TaskId id{0};
+  std::uint64_t epoch{0};
+  TaskSpec spec{};
+};
+
+/// Appends the serialized spec to `out`.
+void encode_task_spec(std::vector<std::byte>& out, const TaskSpec& spec);
+
+/// Decodes one spec starting at `pos`, advancing it past the consumed
+/// bytes. False on truncation or an invalid estimator-bound tag.
+bool decode_task_spec(std::span<const std::byte> in, std::size_t& pos,
+                      TaskSpec& spec);
+
+/// Appends the serialized record (id, epoch, spec) to `out`.
+void encode_task_record(std::vector<std::byte>& out, const TaskRecord& record);
+
+/// Decodes one record starting at `pos`, advancing it past the consumed
+/// bytes. False on truncation or an invalid spec.
+bool decode_task_record(std::span<const std::byte> in, std::size_t& pos,
+                        TaskRecord& record);
+
+/// Convenience: one record as a standalone byte vector.
+std::vector<std::byte> encode_record(const TaskRecord& record);
+
+/// Field-wise equality of the codec-visible spec fields (TaskSpec has no
+/// operator==; tests and the registry use this to compare revisions).
+bool specs_equal(const TaskSpec& a, const TaskSpec& b);
+
+}  // namespace volley::control

@@ -1,0 +1,110 @@
+#include "control/task_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace volley::control {
+
+const char* control_status_name(ControlStatus status) {
+  switch (status) {
+    case ControlStatus::kOk:
+      return "ok";
+    case ControlStatus::kNotFound:
+      return "not_found";
+    case ControlStatus::kExists:
+      return "exists";
+    case ControlStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+namespace {
+std::optional<std::string> validation_error(const TaskSpec& spec) {
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    return std::string(e.what());
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+MutationResult TaskRegistry::add(TaskId id, const TaskSpec& spec) {
+  if (tasks_.count(id)) {
+    return {ControlStatus::kExists, 0,
+            "task " + std::to_string(id) + " already exists", std::nullopt};
+  }
+  if (auto err = validation_error(spec)) {
+    return {ControlStatus::kInvalid, 0, *err, std::nullopt};
+  }
+  TaskRecord record{id, ++version_, spec};
+  tasks_[id] = record;
+  return {ControlStatus::kOk, record.epoch, {},
+          RegistryOp{RegistryOpKind::kAdd, record}};
+}
+
+MutationResult TaskRegistry::update(TaskId id, const TaskSpec& spec) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return {ControlStatus::kNotFound, 0,
+            "task " + std::to_string(id) + " not found", std::nullopt};
+  }
+  if (auto err = validation_error(spec)) {
+    return {ControlStatus::kInvalid, 0, *err, std::nullopt};
+  }
+  it->second.epoch = ++version_;
+  it->second.spec = spec;
+  return {ControlStatus::kOk, it->second.epoch, {},
+          RegistryOp{RegistryOpKind::kUpdate, it->second}};
+}
+
+MutationResult TaskRegistry::remove(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return {ControlStatus::kNotFound, 0,
+            "task " + std::to_string(id) + " not found", std::nullopt};
+  }
+  TaskRecord removed = it->second;
+  tasks_.erase(it);
+  removed.epoch = ++version_;  // the removal consumes a revision
+  return {ControlStatus::kOk, removed.epoch, {},
+          RegistryOp{RegistryOpKind::kRemove, removed}};
+}
+
+void TaskRegistry::restore(const RegistryOp& op) {
+  switch (op.kind) {
+    case RegistryOpKind::kAdd:
+    case RegistryOpKind::kUpdate:
+      tasks_[op.record.id] = op.record;
+      break;
+    case RegistryOpKind::kRemove:
+      tasks_.erase(op.record.id);
+      break;
+  }
+  version_ = std::max(version_, op.record.epoch);
+}
+
+void TaskRegistry::restore_snapshot(std::uint64_t version,
+                                    std::vector<TaskRecord> records) {
+  tasks_.clear();
+  version_ = version;
+  for (auto& record : records) {
+    version_ = std::max(version_, record.epoch);
+    tasks_[record.id] = std::move(record);
+  }
+}
+
+const TaskRecord* TaskRegistry::find(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::vector<TaskRecord> TaskRegistry::list() const {
+  std::vector<TaskRecord> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, record] : tasks_) out.push_back(record);
+  return out;
+}
+
+}  // namespace volley::control

@@ -10,6 +10,13 @@ namespace volley {
 using MonitorId = std::uint32_t;
 using TaskId = std::uint32_t;
 
+/// The task every daemon seeds from its command-line options at startup
+/// (registry epoch 1). Dynamically added tasks use any other id.
+inline constexpr TaskId kBootTaskId = 0;
+
+/// The boot task's registry epoch on a fresh (non-restored) deployment.
+inline constexpr std::uint64_t kBootTaskEpoch = 1;
+
 /// One sampling observation made by a monitor.
 struct Sample {
   Tick tick{0};

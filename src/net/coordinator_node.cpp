@@ -5,6 +5,7 @@
 #include <array>
 #include <chrono>
 #include <stdexcept>
+#include <utility>
 
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -27,6 +28,8 @@ struct NetCoordinatorMetrics {
   obs::Counter* stale_polls;
   obs::Counter* alerts;
   obs::Counter* stats_requests;
+  obs::Counter* control_requests;
+  obs::Counter* registry_mutations;
 
   static NetCoordinatorMetrics make(obs::MetricsRegistry& m) {
     return NetCoordinatorMetrics{
@@ -44,6 +47,10 @@ struct NetCoordinatorMetrics {
                    "State alerts raised by the wire coordinator"),
         &m.counter("volley_net_stats_requests_total",
                    "StatsRequest introspection queries served"),
+        &m.counter("volley_net_control_requests_total",
+                   "Control-plane requests served (add/remove/update/list)"),
+        &m.counter("volley_net_registry_mutations_total",
+                   "Task registry mutations applied (add/update/remove)"),
     };
   }
 
@@ -74,12 +81,76 @@ CoordinatorNode::CoordinatorNode(const CoordinatorNodeOptions& options)
     throw std::invalid_argument("CoordinatorNode: heartbeat_timeout_ms > 0");
   if (options.staleness_bound_ms <= 0)
     throw std::invalid_argument("CoordinatorNode: staleness_bound_ms > 0");
-  if (options.adaptive_allocation) {
-    allocator_ = std::make_unique<AdaptiveAllocation>();
-  } else {
-    allocator_ = std::make_unique<EvenAllocation>();
+  if (!options.registry_path.empty()) {
+    store_ = std::make_unique<control::RegistryStore>(options.registry_path);
+    registry_load_stats_ = store_->load(registry_);
+    if (registry_load_stats_.had_snapshot || registry_load_stats_.journal_ops)
+      VLOG_INFO("coordinator", "registry restored: ", registry_.size(),
+                " task(s) at version ", registry_.version());
   }
+  if (registry_.version() == 0) {
+    // Fresh registry (no durable state): seed the boot task from the
+    // command-line options. Monitors seed the same task 0 at epoch 1 from
+    // their own options, so the attach push is a no-op for them.
+    TaskSpec boot;
+    boot.global_threshold = options.global_threshold;
+    boot.error_allowance = options.error_allowance;
+    const auto result = registry_.add(kBootTaskId, boot);
+    if (!result.ok())
+      throw std::invalid_argument("CoordinatorNode: invalid boot task: " +
+                                  result.error);
+    if (store_) store_->append(*result.op);
+  }
+  for (const auto& record : registry_.list()) install_task_runtime(record);
   listener_.set_nonblocking(true);
+}
+
+double CoordinatorNode::even_share(const TaskRuntime& rt) const {
+  return rt.record.spec.error_allowance /
+         static_cast<double>(options_.monitors);
+}
+
+CoordinatorNode::TaskRuntime& CoordinatorNode::install_task_runtime(
+    const control::TaskRecord& record) {
+  TaskRuntime& rt = tasks_[record.id];
+  rt.record = record;
+  if (options_.adaptive_allocation) {
+    rt.allocator = std::make_unique<AdaptiveAllocation>();
+  } else {
+    rt.allocator = std::make_unique<EvenAllocation>();
+  }
+  rt.allowance.clear();
+  for (const auto& [id, session] : sessions_) {
+    (void)session;
+    rt.allowance.emplace(id, even_share(rt));
+  }
+  return rt;
+}
+
+TaskAttach CoordinatorNode::make_attach(const TaskRuntime& rt,
+                                        MonitorId id) const {
+  const TaskSpec& spec = rt.record.spec;
+  TaskAttach attach;
+  attach.task = rt.record.id;
+  attach.epoch = rt.record.epoch;
+  attach.local_threshold =
+      spec.global_threshold / static_cast<double>(options_.monitors);
+  const auto it = rt.allowance.find(id);
+  attach.error_allowance = it != rt.allowance.end() ? it->second
+                                                    : even_share(rt);
+  attach.slack_ratio = spec.slack_ratio;
+  attach.patience = spec.patience;
+  attach.max_interval = spec.max_interval;
+  attach.updating_period = spec.updating_period;
+  return attach;
+}
+
+void CoordinatorNode::push_attach_all(const TaskRuntime& rt) {
+  for (auto& [id, session] : sessions_) {
+    if (session.connected && !session.done) {
+      send_to(id, session, make_attach(rt, id));
+    }
+  }
 }
 
 bool CoordinatorNode::send_to(MonitorId id, Session& session,
@@ -105,37 +176,42 @@ std::size_t CoordinatorNode::finished_sessions() const {
   return n;
 }
 
-void CoordinatorNode::start_poll(Tick tick) {
-  active_poll_ = next_poll_id_++;
-  active_poll_tick_ = tick;
-  poll_values_.clear();
-  poll_started_ms_ = now_ms();
+void CoordinatorNode::start_poll(TaskId task, TaskRuntime& rt, Tick tick) {
+  rt.active_poll = next_poll_id_++;
+  rt.active_poll_tick = tick;
+  rt.poll_values.clear();
+  rt.poll_started_ms = now_ms();
   ++global_polls_;
-  broadcast(PollRequest{tick, *active_poll_});
-  check_poll_completion();  // every reachable monitor may already be gone
+  broadcast(PollRequest{tick, *rt.active_poll, task});
+  check_poll_completion(task, rt);  // every reachable monitor may be gone
 }
 
-void CoordinatorNode::check_poll_completion() {
-  if (!active_poll_) return;
+void CoordinatorNode::check_poll_completion(TaskId task, TaskRuntime& rt) {
+  if (!rt.active_poll) return;
   for (const auto& [id, session] : sessions_) {
     if (!session.connected || session.state != MonitorLiveness::kActive)
       continue;
-    if (!poll_values_.count(id)) return;  // still waiting on a live monitor
+    if (!rt.poll_values.count(id)) return;  // waiting on a live monitor
   }
-  finish_poll();
+  finish_poll(task, rt);
 }
 
-void CoordinatorNode::finish_poll() {
+void CoordinatorNode::check_all_poll_completions() {
+  for (auto& [task, rt] : tasks_) check_poll_completion(task, rt);
+}
+
+void CoordinatorNode::finish_poll(TaskId task, TaskRuntime& rt) {
   double sum = 0.0;
   bool stale = false;
-  for (const auto& [id, value] : poll_values_) sum += value;
+  for (const auto& [id, value] : rt.poll_values) sum += value;
   for (const auto& [id, session] : sessions_) {
-    if (poll_values_.count(id)) continue;
+    if (rt.poll_values.count(id)) continue;
     if (session.state == MonitorLiveness::kDead) continue;  // excluded
-    if (session.has_value) {
+    const auto last = session.last_values.find(task);
+    if (last != session.last_values.end()) {
       // Suspect or unreachable: settle with the last known value, exactly
       // the simulator's poll_response_loss fallback.
-      sum += session.last_value;
+      sum += last->second;
       stale = true;
       ++fault_stats_.stale_values;
     }
@@ -144,17 +220,18 @@ void CoordinatorNode::finish_poll() {
     ++fault_stats_.stale_polls;
     NetCoordinatorMetrics::get().stale_polls->inc();
   }
-  if (sum > options_.global_threshold) {
-    alerts_.push_back(GlobalAlert{active_poll_tick_, sum});
+  const double threshold = rt.record.spec.global_threshold;
+  if (sum > threshold) {
+    alerts_.push_back(GlobalAlert{rt.active_poll_tick, sum, task});
     NetCoordinatorMetrics::get().alerts->inc();
-    obs::trace().record(obs::TraceKind::kAlertRaised, active_poll_tick_, 0,
-                        sum, options_.global_threshold);
+    obs::trace().record(obs::TraceKind::kAlertRaised, rt.active_poll_tick,
+                        task, sum, threshold);
   }
-  active_poll_.reset();
-  poll_values_.clear();
+  rt.active_poll.reset();
+  rt.poll_values.clear();
 }
 
-void CoordinatorNode::maybe_reallocate() {
+void CoordinatorNode::maybe_reallocate(TaskId task, TaskRuntime& rt) {
   // Reallocation needs a StatsReport from every *reachable* monitor: dead
   // monitors are excluded (their allowance was reclaimed) and done monitors
   // no longer report.
@@ -165,27 +242,31 @@ void CoordinatorNode::maybe_reallocate() {
   }
   if (eligible.empty() || !all_joined()) return;
   for (MonitorId id : eligible) {
-    if (!pending_stats_.count(id)) return;
+    if (!rt.pending_stats.count(id)) return;
   }
   std::vector<double> current;
   std::vector<CoordStats> stats;
   current.reserve(eligible.size());
   stats.reserve(eligible.size());
   for (MonitorId id : eligible) {
-    current.push_back(allowance_[id]);
-    stats.push_back(pending_stats_[id]);
+    current.push_back(rt.allowance[id]);
+    stats.push_back(rt.pending_stats[id]);
   }
-  const double budget = options_.error_allowance;
-  const auto next = allocator_->allocate(budget, current, stats);
+  const double budget = rt.record.spec.error_allowance;
+  const auto next = rt.allocator->allocate(budget, current, stats);
   for (std::size_t i = 0; i < eligible.size(); ++i) {
-    allowance_[eligible[i]] = next[i];
+    rt.allowance[eligible[i]] = next[i];
     auto& session = sessions_.at(eligible[i]);
     if (session.connected) {
-      send_to(eligible[i], session, AllowanceUpdate{next[i]});
+      send_to(eligible[i], session, AllowanceUpdate{next[i], task});
     }
   }
-  pending_stats_.clear();
+  rt.pending_stats.clear();
   ++reallocations_;
+}
+
+void CoordinatorNode::maybe_reallocate_all() {
+  for (auto& [task, rt] : tasks_) maybe_reallocate(task, rt);
 }
 
 void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
@@ -198,7 +279,7 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
                       liveness_code(MonitorLiveness::kSuspect),
                       liveness_code(MonitorLiveness::kActive));
   VLOG_WARN("coordinator", "monitor ", id, " is suspect");
-  check_poll_completion();
+  check_all_poll_completions();
 }
 
 void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
@@ -210,35 +291,40 @@ void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
                       liveness_code(MonitorLiveness::kSuspect));
   VLOG_WARN("coordinator", "monitor ", id,
             " declared dead; reclaiming its allowance");
-  pending_stats_.erase(id);
+  for (auto& [task, rt] : tasks_) rt.pending_stats.erase(id);
   redistribute_and_push();
-  check_poll_completion();
-  maybe_reallocate();
+  check_all_poll_completions();
+  maybe_reallocate_all();
 }
 
 void CoordinatorNode::redistribute_and_push() {
-  // Zero the dead monitors' shares and rescale the survivors to the full
-  // task allowance (core/error_allocation semantics).
-  std::vector<MonitorId> ids;
-  std::vector<double> current;
-  std::vector<std::size_t> excluded;
-  for (const auto& [id, session] : sessions_) {
-    if (session.state == MonitorLiveness::kDead) excluded.push_back(ids.size());
-    ids.push_back(id);
-    current.push_back(allowance_[id]);
-  }
-  if (ids.empty() || excluded.size() == ids.size()) return;
-  const auto next =
-      redistribute_allowance(options_.error_allowance, current, excluded);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    allowance_[ids[i]] = next[i];
-    auto& session = sessions_.at(ids[i]);
-    if (session.connected && session.state == MonitorLiveness::kActive &&
-        !session.done) {
-      send_to(ids[i], session, AllowanceUpdate{next[i]});
+  // Zero the dead monitors' shares and rescale the survivors to each task's
+  // full allowance (core/error_allocation semantics).
+  bool redistributed = false;
+  for (auto& [task, rt] : tasks_) {
+    std::vector<MonitorId> ids;
+    std::vector<double> current;
+    std::vector<std::size_t> excluded;
+    for (const auto& [id, session] : sessions_) {
+      if (session.state == MonitorLiveness::kDead)
+        excluded.push_back(ids.size());
+      ids.push_back(id);
+      current.push_back(rt.allowance[id]);
     }
+    if (ids.empty() || excluded.size() == ids.size()) continue;
+    const auto next = redistribute_allowance(rt.record.spec.error_allowance,
+                                             current, excluded);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      rt.allowance[ids[i]] = next[i];
+      auto& session = sessions_.at(ids[i]);
+      if (session.connected && session.state == MonitorLiveness::kActive &&
+          !session.done) {
+        send_to(ids[i], session, AllowanceUpdate{next[i], task});
+      }
+    }
+    redistributed = true;
   }
-  ++fault_stats_.allowance_reclaims;
+  if (redistributed) ++fault_stats_.allowance_reclaims;
 }
 
 void CoordinatorNode::serve_stats(TcpConnection& conn,
@@ -257,6 +343,92 @@ void CoordinatorNode::serve_stats(TcpConnection& conn,
     reply.trace_jsonl = obs::trace().to_jsonl(2048);
   }
   conn.send_all(frame_payload(encode(Message{reply})));
+}
+
+void CoordinatorNode::persist_and_trace(const control::RegistryOp& op) {
+  if (store_) {
+    store_->append(op);
+    store_->maybe_compact(registry_);
+  }
+  NetCoordinatorMetrics::get().registry_mutations->inc();
+  obs::trace().record(obs::TraceKind::kTaskRegistryChange, 0, op.record.id,
+                      static_cast<double>(op.record.epoch),
+                      static_cast<double>(op.kind));
+}
+
+ControlReply CoordinatorNode::apply_add(const AddTask& request) {
+  const auto result = registry_.add(request.task, request.spec);
+  if (result.ok()) {
+    persist_and_trace(*result.op);
+    TaskRuntime& rt = install_task_runtime(result.op->record);
+    push_attach_all(rt);
+    VLOG_INFO("coordinator", "task ", request.task, " added at epoch ",
+              result.epoch);
+  }
+  return ControlReply{result.status, result.epoch, registry_.version(),
+                      result.error};
+}
+
+ControlReply CoordinatorNode::apply_update(const UpdateTask& request) {
+  const auto result = registry_.update(request.task, request.spec);
+  if (result.ok()) {
+    persist_and_trace(*result.op);
+    // Re-run the allowance allocation for the task: the new spec may carry
+    // a different budget, so the split restarts even and re-adapts from
+    // the monitors' next StatsReports.
+    TaskRuntime& rt = install_task_runtime(result.op->record);
+    rt.pending_stats.clear();
+    push_attach_all(rt);
+    VLOG_INFO("coordinator", "task ", request.task, " updated to epoch ",
+              result.epoch);
+  }
+  return ControlReply{result.status, result.epoch, registry_.version(),
+                      result.error};
+}
+
+ControlReply CoordinatorNode::apply_remove(const RemoveTask& request) {
+  const auto result = registry_.remove(request.task);
+  if (result.ok()) {
+    persist_and_trace(*result.op);
+    tasks_.erase(request.task);
+    broadcast(TaskDetach{request.task, result.epoch});
+    VLOG_INFO("coordinator", "task ", request.task, " removed at epoch ",
+              result.epoch);
+  }
+  return ControlReply{result.status, result.epoch, registry_.version(),
+                      result.error};
+}
+
+TaskListReply CoordinatorNode::build_task_list() const {
+  TaskListReply reply;
+  reply.registry_version = registry_.version();
+  for (const auto& [task, rt] : tasks_) {
+    TaskEntry entry;
+    entry.task = task;
+    entry.epoch = rt.record.epoch;
+    entry.global_threshold = rt.record.spec.global_threshold;
+    entry.error_allowance = rt.record.spec.error_allowance;
+    entry.updating_period = rt.record.spec.updating_period;
+    entry.allowance_split.assign(rt.allowance.begin(), rt.allowance.end());
+    reply.tasks.push_back(std::move(entry));
+  }
+  return reply;
+}
+
+void CoordinatorNode::serve_control(TcpConnection& conn,
+                                    const Message& request) {
+  NetCoordinatorMetrics::get().control_requests->inc();
+  Message reply;
+  if (const auto* add = std::get_if<AddTask>(&request)) {
+    reply = apply_add(*add);
+  } else if (const auto* update = std::get_if<UpdateTask>(&request)) {
+    reply = apply_update(*update);
+  } else if (const auto* remove = std::get_if<RemoveTask>(&request)) {
+    reply = apply_remove(*remove);
+  } else {
+    reply = build_task_list();
+  }
+  conn.send_all(frame_payload(encode(reply)));
 }
 
 void CoordinatorNode::disconnect_session(MonitorId id, Session& session) {
@@ -279,17 +451,31 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     session.reader = std::move(pending.reader);
     session.last_seen_ms = now_ms();
     it = sessions_.emplace(id, std::move(session)).first;
-    allowance_.emplace(id, options_.error_allowance /
-                               static_cast<double>(options_.monitors));
-    if (hello.resume) {
-      // A monitor resuming against a restarted coordinator: resync it.
-      ++fault_stats_.reconnects;
-      send_to(id, it->second, AllowanceUpdate{allowance_[id]});
+    for (auto& [task, rt] : tasks_) {
+      rt.allowance.emplace(id, even_share(rt));
     }
-    if (all_joined() && pending_poll_tick_ && !active_poll_) {
-      const Tick tick = *pending_poll_tick_;
-      pending_poll_tick_.reset();
-      start_poll(tick);
+    // Teach the newcomer the full task set. Monitors dedupe by epoch, so
+    // the boot task's attach (epoch 1, which they seeded themselves) is a
+    // no-op while dynamically added tasks take effect.
+    for (auto& [task, rt] : tasks_) {
+      send_to(id, it->second, make_attach(rt, id));
+    }
+    if (hello.resume) {
+      // A monitor resuming against a restarted coordinator: resync every
+      // task's allowance.
+      ++fault_stats_.reconnects;
+      for (auto& [task, rt] : tasks_) {
+        send_to(id, it->second, AllowanceUpdate{rt.allowance[id], task});
+      }
+    }
+    if (all_joined()) {
+      for (auto& [task, rt] : tasks_) {
+        if (rt.pending_poll_tick && !rt.active_poll) {
+          const Tick tick = *rt.pending_poll_tick;
+          rt.pending_poll_tick.reset();
+          start_poll(task, rt, tick);
+        }
+      }
     }
   } else {
     Session& session = it->second;
@@ -317,7 +503,13 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
       VLOG_INFO("coordinator", "dead monitor ", id, " rejoined");
       redistribute_and_push();
     }
-    send_to(id, session, AllowanceUpdate{allowance_[id]});  // resync handshake
+    // Resync handshake: full task set, then per-task allowance.
+    for (auto& [task, rt] : tasks_) {
+      send_to(id, session, make_attach(rt, id));
+    }
+    for (auto& [task, rt] : tasks_) {
+      send_to(id, session, AllowanceUpdate{rt.allowance[id], task});
+    }
   }
   // Frames that followed Hello in the same burst are already buffered.
   Session& session = it->second;
@@ -349,32 +541,39 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
     return;  // duplicate Hello on an already-bound session
   }
   if (const auto* violation = std::get_if<LocalViolation>(&message)) {
-    // One poll at a time: coincident local violations are answered by the
-    // in-flight poll's aggregate. Before the full house joined, remember
-    // the violation and poll once everyone is in.
+    // One poll at a time per task: coincident local violations are answered
+    // by the task's in-flight poll aggregate. Before the full house joined,
+    // remember the violation and poll once everyone is in.
+    const auto task_it = tasks_.find(violation->task);
+    if (task_it == tasks_.end()) return;  // removed task's straggler
+    TaskRuntime& rt = task_it->second;
     if (!all_joined()) {
-      pending_poll_tick_ = violation->tick;
-    } else if (!active_poll_) {
-      start_poll(violation->tick);
+      rt.pending_poll_tick = violation->tick;
+    } else if (!rt.active_poll) {
+      start_poll(violation->task, rt, violation->tick);
     }
     return;
   }
   if (const auto* response = std::get_if<PollResponse>(&message)) {
-    session.last_value = response->value;
-    session.has_value = true;
-    if (active_poll_ && response->poll_id == *active_poll_) {
-      poll_values_[response->monitor] = response->value;
-      check_poll_completion();
+    session.last_values[response->task] = response->value;
+    const auto task_it = tasks_.find(response->task);
+    if (task_it == tasks_.end()) return;
+    TaskRuntime& rt = task_it->second;
+    if (rt.active_poll && response->poll_id == *rt.active_poll) {
+      rt.poll_values[response->monitor] = response->value;
+      check_poll_completion(response->task, rt);
     }
     return;
   }
   if (const auto* stats = std::get_if<StatsReport>(&message)) {
+    const auto task_it = tasks_.find(stats->task);
+    if (task_it == tasks_.end()) return;
     CoordStats s;
     s.avg_gain = stats->avg_gain;
     s.avg_allowance = stats->avg_allowance;
     s.observations = stats->observations;
-    pending_stats_[stats->monitor] = s;
-    maybe_reallocate();
+    task_it->second.pending_stats[stats->monitor] = s;
+    maybe_reallocate(stats->task, task_it->second);
     return;
   }
   if (const auto* bye = std::get_if<Bye>(&message)) {
@@ -435,6 +634,13 @@ void CoordinatorNode::run() {
               // Introspection client (e.g. tools/volley_stats): answer and
               // drop; never a monitor.
               serve_stats(pending.conn, *stats);
+              drop = true;
+              break;
+            }
+            if (is_control_request(*message)) {
+              // Control client (e.g. tools/volleyctl): mutate or list the
+              // task registry, answer, drop; never a monitor.
+              serve_control(pending.conn, *message);
               drop = true;
               break;
             }
@@ -505,12 +711,15 @@ void CoordinatorNode::run() {
       }
     }
 
-    // Poll timeout: settle with whatever arrived.
-    if (active_poll_ &&
-        now - poll_started_ms_ > options_.poll_timeout_ms) {
-      VLOG_WARN("coordinator", "global poll timed out with ",
-                poll_values_.size(), "/", options_.monitors, " responses");
-      finish_poll();
+    // Poll timeouts: settle each task with whatever arrived.
+    for (auto& [task, rt] : tasks_) {
+      if (rt.active_poll &&
+          now - rt.poll_started_ms > options_.poll_timeout_ms) {
+        VLOG_WARN("coordinator", "global poll for task ", task,
+                  " timed out with ", rt.poll_values.size(), "/",
+                  options_.monitors, " responses");
+        finish_poll(task, rt);
+      }
     }
     // Idle guard: a fully silent session means lost monitors; bail out.
     if (now - last_activity_ms > options_.idle_timeout_ms) {

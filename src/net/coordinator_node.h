@@ -2,33 +2,50 @@
 //
 // The coordinator accepts the expected number of monitors, then runs a
 // poll(2)-based event loop:
-//  * LocalViolation  -> start a global poll (coincident violations while a
-//    poll is in flight are absorbed by that poll, as in the paper: one
-//    global poll answers "is the global condition violated right now");
+//  * LocalViolation  -> start a global poll for the violated task (coincident
+//    violations while that task's poll is in flight are absorbed by it, as in
+//    the paper: one global poll answers "is the global condition violated
+//    right now");
 //  * PollResponse    -> when every reachable monitor answered, aggregate and
-//    compare against the global threshold T; record a state alert if
+//    compare against the task's global threshold T; record a state alert if
 //    exceeded;
-//  * StatsReport     -> once all reachable monitors reported, reallocate the
-//    error allowance (even or adaptive scheme) and push AllowanceUpdates;
+//  * StatsReport     -> once all reachable monitors reported for a task,
+//    reallocate that task's error allowance (even or adaptive scheme) and
+//    push AllowanceUpdates;
 //  * Heartbeat       -> refresh the monitor's liveness deadline, echo an ack;
 //  * StatsRequest    -> (from any pre-Hello client, e.g. tools/volley_stats)
 //    answer with one StatsReply — session counters plus the obs/ metrics
 //    snapshot and optional trace export — then drop the connection; stats
 //    clients never count toward the expected monitors;
+//  * AddTask / RemoveTask / UpdateTask / ListTasks -> (pre-Hello control
+//    clients, e.g. tools/volleyctl) mutate the task registry: validate,
+//    journal through the durable store, re-run the task's allowance
+//    allocation, and push TaskAttach / TaskDetach to every live monitor;
+//    answer with ControlReply / TaskListReply, then drop the connection;
 //  * Bye             -> when all monitors said goodbye, broadcast Shutdown
 //    and return.
+//
+// Task registry (src/control): the coordinator seeds a *boot task* (id 0,
+// epoch 1) from its own options, so the legacy single-task deployment is
+// just the registry's initial state. When `registry_path` is set, the
+// registry is durable — restored from snapshot + journal on construction
+// (a restarted coordinator resumes the full task set at its exact epochs)
+// and journaled on every mutation. Monitors learn the task set through
+// TaskAttach frames pushed on bind and on every registry change; epochs
+// make the pushes idempotent (a monitor ignores revisions it already runs).
 //
 // Failure model (the companion paper [22]'s concern, mirrored from
 // sim/faults.h): a monitor silent past heartbeat_timeout_ms — or whose
 // connection drops without a Bye — becomes SUSPECT. An in-flight global
 // poll no longer waits on suspects: it completes with the suspect's last
-// known value (the same stale-value fallback the simulator applies on
-// poll_response_loss), and the poll is accounted as stale. A suspect that
-// stays silent past staleness_bound_ms becomes DEAD: it is excluded from
-// aggregation and its error allowance is reclaimed and redistributed to
-// the survivors (core/error_allocation's redistribute_allowance). A
-// reconnecting monitor reattaches with Hello{resume}; the coordinator
-// responds with an AllowanceUpdate so the monitor resyncs its allowance.
+// known value for that task (the same stale-value fallback the simulator
+// applies on poll_response_loss), and the poll is accounted as stale. A
+// suspect that stays silent past staleness_bound_ms becomes DEAD: it is
+// excluded from aggregation and its error allowance is reclaimed and
+// redistributed to the survivors — per task
+// (core/error_allocation's redistribute_allowance). A reconnecting monitor
+// reattaches with Hello{resume}; the coordinator responds with TaskAttach
+// and AllowanceUpdate frames so the monitor resyncs every task.
 #pragma once
 
 #include <atomic>
@@ -36,9 +53,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "control/registry_store.h"
+#include "control/task_registry.h"
 #include "core/error_allocation.h"
 #include "net/framing.h"
 #include "net/messages.h"
@@ -56,11 +76,15 @@ struct CoordinatorNodeOptions {
   int idle_timeout_ms{30000};      // abort a fully silent session
   int heartbeat_timeout_ms{2000};  // silence before a monitor is SUSPECT
   int staleness_bound_ms{6000};    // SUSPECT duration before DEAD (reclaim)
+  /// When non-empty, the task registry persists to `<path>.snapshot` /
+  /// `<path>.journal` and is restored from them on construction.
+  std::string registry_path{};
 };
 
 struct GlobalAlert {
   Tick tick{0};
   double value{0.0};
+  TaskId task{0};
 };
 
 /// Liveness state of one monitor as the coordinator sees it.
@@ -104,6 +128,13 @@ class CoordinatorNode {
   const std::map<MonitorId, std::int64_t>& reported_ops() const {
     return reported_ops_;
   }
+  /// The live task registry (boot task included). Const access only; the
+  /// run() thread owns mutations.
+  const control::TaskRegistry& registry() const { return registry_; }
+  /// What construction found on disk (all-false/zero without registry_path).
+  const control::RegistryLoadStats& registry_load_stats() const {
+    return registry_load_stats_;
+  }
 
  private:
   struct Session {
@@ -114,8 +145,8 @@ class CoordinatorNode {
     bool connected{true};
     std::int64_t last_seen_ms{0};
     std::int64_t suspect_since_ms{0};
-    double last_value{0.0};  // freshest PollResponse (stale fallback)
-    bool has_value{false};
+    /// Freshest PollResponse per task (stale fallback).
+    std::map<TaskId, double> last_values;
   };
 
   struct PendingConn {  // accepted, Hello not yet seen
@@ -124,15 +155,51 @@ class CoordinatorNode {
     std::int64_t since_ms{0};
   };
 
+  /// Everything the coordinator tracks about one live task beyond the
+  /// registry record: the per-monitor allowance split, its allocator, and
+  /// the task's in-flight poll / stats-report state.
+  struct TaskRuntime {
+    control::TaskRecord record{};
+    std::unique_ptr<AllowanceAllocator> allocator;
+    std::map<MonitorId, double> allowance;
+
+    // Global-poll state (one in-flight poll per task).
+    std::optional<std::uint64_t> active_poll;
+    Tick active_poll_tick{0};
+    std::map<MonitorId, double> poll_values;
+    std::int64_t poll_started_ms{0};
+    std::optional<Tick> pending_poll_tick;  // violation before full house
+
+    // Stats-report state.
+    std::map<MonitorId, CoordStats> pending_stats;
+  };
+
   void handle_message(MonitorId id, Session& session, const Message& message);
   void bind_session(PendingConn&& pending, const Hello& hello);
   /// Answers a StatsRequest on a (pre-Hello) connection with one StatsReply;
   /// the caller then drops the connection — stats clients are not monitors.
   void serve_stats(TcpConnection& conn, const StatsRequest& request);
-  void start_poll(Tick tick);
-  void check_poll_completion();
-  void finish_poll();
-  void maybe_reallocate();
+  /// Answers AddTask/RemoveTask/UpdateTask/ListTasks on a (pre-Hello)
+  /// connection; like serve_stats the caller drops the connection after.
+  void serve_control(TcpConnection& conn, const Message& request);
+  ControlReply apply_add(const AddTask& request);
+  ControlReply apply_update(const UpdateTask& request);
+  ControlReply apply_remove(const RemoveTask& request);
+  TaskListReply build_task_list() const;
+  /// Journals the op (durable mode) and records the trace event.
+  void persist_and_trace(const control::RegistryOp& op);
+  /// Installs runtime state for a (new or restored) registry record: even
+  /// allowance split over the expected fleet, fresh allocator.
+  TaskRuntime& install_task_runtime(const control::TaskRecord& record);
+  TaskAttach make_attach(const TaskRuntime& rt, MonitorId id) const;
+  void push_attach_all(const TaskRuntime& rt);
+
+  void start_poll(TaskId task, TaskRuntime& rt, Tick tick);
+  void check_poll_completion(TaskId task, TaskRuntime& rt);
+  void check_all_poll_completions();
+  void finish_poll(TaskId task, TaskRuntime& rt);
+  void maybe_reallocate(TaskId task, TaskRuntime& rt);
+  void maybe_reallocate_all();
   void mark_suspect(MonitorId id, Session& session);
   void declare_dead(MonitorId id, Session& session);
   void redistribute_and_push();
@@ -141,24 +208,19 @@ class CoordinatorNode {
   bool send_to(MonitorId id, Session& session, const Message& message);
   bool all_joined() const { return sessions_.size() >= options_.monitors; }
   std::size_t finished_sessions() const;
+  double even_share(const TaskRuntime& rt) const;
 
   CoordinatorNodeOptions options_;
   TcpListener listener_;
   std::map<MonitorId, Session> sessions_;
   std::vector<PendingConn> pending_;
-  std::unique_ptr<AllowanceAllocator> allocator_;
-  std::map<MonitorId, double> allowance_;
 
-  // Global-poll state.
-  std::uint64_t next_poll_id_{1};
-  std::optional<std::uint64_t> active_poll_;
-  Tick active_poll_tick_{0};
-  std::map<MonitorId, double> poll_values_;
-  std::int64_t poll_started_ms_{0};
-  std::optional<Tick> pending_poll_tick_;  // violation before full house
+  control::TaskRegistry registry_;
+  std::unique_ptr<control::RegistryStore> store_;
+  control::RegistryLoadStats registry_load_stats_;
+  std::map<TaskId, TaskRuntime> tasks_;
 
-  // Stats-report state.
-  std::map<MonitorId, CoordStats> pending_stats_;
+  std::uint64_t next_poll_id_{1};  // unique across tasks
 
   std::atomic<bool> stop_{false};
   std::int64_t global_polls_{0};

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "control/task_codec.h"
+
 namespace volley::net {
 
 namespace {
@@ -19,6 +21,14 @@ enum class Type : std::uint8_t {
   kHeartbeatAck = 10,
   kStatsRequest = 11,
   kStatsReply = 12,
+  kAddTask = 13,
+  kRemoveTask = 14,
+  kUpdateTask = 15,
+  kListTasks = 16,
+  kControlReply = 17,
+  kTaskListReply = 18,
+  kTaskAttach = 19,
+  kTaskDetach = 20,
 };
 
 class Writer {
@@ -32,6 +42,7 @@ class Writer {
     u32(static_cast<std::uint32_t>(v.size()));
     raw(v.data(), v.size());
   }
+  void spec(const TaskSpec& v) { control::encode_task_spec(buf_, v); }
 
   std::vector<std::byte> take() { return std::move(buf_); }
 
@@ -60,6 +71,7 @@ class Reader {
     pos_ += len;
     return true;
   }
+  bool spec(TaskSpec& v) { return control::decode_task_spec(data_, pos_, v); }
   bool done() const { return pos_ == data_.size(); }
 
  private:
@@ -89,25 +101,30 @@ std::vector<std::byte> encode(const Message& message) {
           w.u32(m.monitor);
           w.i64(m.tick);
           w.f64(m.value);
+          w.u32(m.task);
         } else if constexpr (std::is_same_v<T, PollRequest>) {
           w.u8(static_cast<std::uint8_t>(Type::kPollRequest));
           w.i64(m.tick);
           w.u64(m.poll_id);
+          w.u32(m.task);
         } else if constexpr (std::is_same_v<T, PollResponse>) {
           w.u8(static_cast<std::uint8_t>(Type::kPollResponse));
           w.u32(m.monitor);
           w.u64(m.poll_id);
           w.i64(m.tick);
           w.f64(m.value);
+          w.u32(m.task);
         } else if constexpr (std::is_same_v<T, StatsReport>) {
           w.u8(static_cast<std::uint8_t>(Type::kStatsReport));
           w.u32(m.monitor);
           w.f64(m.avg_gain);
           w.f64(m.avg_allowance);
           w.i64(m.observations);
+          w.u32(m.task);
         } else if constexpr (std::is_same_v<T, AllowanceUpdate>) {
           w.u8(static_cast<std::uint8_t>(Type::kAllowanceUpdate));
           w.f64(m.error_allowance);
+          w.u32(m.task);
         } else if constexpr (std::is_same_v<T, Bye>) {
           w.u8(static_cast<std::uint8_t>(Type::kBye));
           w.u32(m.monitor);
@@ -132,6 +149,55 @@ std::vector<std::byte> encode(const Message& message) {
           w.i64(m.alerts);
           w.str(m.metrics);
           w.str(m.trace_jsonl);
+        } else if constexpr (std::is_same_v<T, AddTask>) {
+          w.u8(static_cast<std::uint8_t>(Type::kAddTask));
+          w.u32(m.task);
+          w.spec(m.spec);
+        } else if constexpr (std::is_same_v<T, RemoveTask>) {
+          w.u8(static_cast<std::uint8_t>(Type::kRemoveTask));
+          w.u32(m.task);
+        } else if constexpr (std::is_same_v<T, UpdateTask>) {
+          w.u8(static_cast<std::uint8_t>(Type::kUpdateTask));
+          w.u32(m.task);
+          w.spec(m.spec);
+        } else if constexpr (std::is_same_v<T, ListTasks>) {
+          w.u8(static_cast<std::uint8_t>(Type::kListTasks));
+        } else if constexpr (std::is_same_v<T, ControlReply>) {
+          w.u8(static_cast<std::uint8_t>(Type::kControlReply));
+          w.u8(static_cast<std::uint8_t>(m.status));
+          w.u64(m.epoch);
+          w.u64(m.registry_version);
+          w.str(m.message);
+        } else if constexpr (std::is_same_v<T, TaskListReply>) {
+          w.u8(static_cast<std::uint8_t>(Type::kTaskListReply));
+          w.u64(m.registry_version);
+          w.u32(static_cast<std::uint32_t>(m.tasks.size()));
+          for (const auto& entry : m.tasks) {
+            w.u32(entry.task);
+            w.u64(entry.epoch);
+            w.f64(entry.global_threshold);
+            w.f64(entry.error_allowance);
+            w.i64(entry.updating_period);
+            w.u32(static_cast<std::uint32_t>(entry.allowance_split.size()));
+            for (const auto& [monitor, allowance] : entry.allowance_split) {
+              w.u32(monitor);
+              w.f64(allowance);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, TaskAttach>) {
+          w.u8(static_cast<std::uint8_t>(Type::kTaskAttach));
+          w.u32(m.task);
+          w.u64(m.epoch);
+          w.f64(m.local_threshold);
+          w.f64(m.error_allowance);
+          w.f64(m.slack_ratio);
+          w.u32(static_cast<std::uint32_t>(m.patience));
+          w.i64(m.max_interval);
+          w.i64(m.updating_period);
+        } else if constexpr (std::is_same_v<T, TaskDetach>) {
+          w.u8(static_cast<std::uint8_t>(Type::kTaskDetach));
+          w.u32(m.task);
+          w.u64(m.epoch);
         }
       },
       message);
@@ -153,33 +219,36 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
     }
     case Type::kLocalViolation: {
       LocalViolation m;
-      if (!r.u32(m.monitor) || !r.i64(m.tick) || !r.f64(m.value) || !r.done())
+      if (!r.u32(m.monitor) || !r.i64(m.tick) || !r.f64(m.value) ||
+          !r.u32(m.task) || !r.done())
         return std::nullopt;
       return m;
     }
     case Type::kPollRequest: {
       PollRequest m;
-      if (!r.i64(m.tick) || !r.u64(m.poll_id) || !r.done())
+      if (!r.i64(m.tick) || !r.u64(m.poll_id) || !r.u32(m.task) || !r.done())
         return std::nullopt;
       return m;
     }
     case Type::kPollResponse: {
       PollResponse m;
       if (!r.u32(m.monitor) || !r.u64(m.poll_id) || !r.i64(m.tick) ||
-          !r.f64(m.value) || !r.done())
+          !r.f64(m.value) || !r.u32(m.task) || !r.done())
         return std::nullopt;
       return m;
     }
     case Type::kStatsReport: {
       StatsReport m;
       if (!r.u32(m.monitor) || !r.f64(m.avg_gain) ||
-          !r.f64(m.avg_allowance) || !r.i64(m.observations) || !r.done())
+          !r.f64(m.avg_allowance) || !r.i64(m.observations) ||
+          !r.u32(m.task) || !r.done())
         return std::nullopt;
       return m;
     }
     case Type::kAllowanceUpdate: {
       AllowanceUpdate m;
-      if (!r.f64(m.error_allowance) || !r.done()) return std::nullopt;
+      if (!r.f64(m.error_allowance) || !r.u32(m.task) || !r.done())
+        return std::nullopt;
       return m;
     }
     case Type::kBye: {
@@ -217,8 +286,89 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
         return std::nullopt;
       return m;
     }
+    case Type::kAddTask: {
+      AddTask m;
+      if (!r.u32(m.task) || !r.spec(m.spec) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kRemoveTask: {
+      RemoveTask m;
+      if (!r.u32(m.task) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kUpdateTask: {
+      UpdateTask m;
+      if (!r.u32(m.task) || !r.spec(m.spec) || !r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kListTasks: {
+      if (!r.done()) return std::nullopt;
+      return ListTasks{};
+    }
+    case Type::kControlReply: {
+      ControlReply m;
+      std::uint8_t status = 0;
+      if (!r.u8(status) ||
+          status > static_cast<std::uint8_t>(control::ControlStatus::kInvalid))
+        return std::nullopt;
+      m.status = static_cast<control::ControlStatus>(status);
+      if (!r.u64(m.epoch) || !r.u64(m.registry_version) || !r.str(m.message) ||
+          !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kTaskListReply: {
+      TaskListReply m;
+      std::uint32_t count = 0;
+      if (!r.u64(m.registry_version) || !r.u32(count) ||
+          count > TaskListReply::kMaxTasks)
+        return std::nullopt;
+      m.tasks.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        TaskEntry entry;
+        std::uint32_t split = 0;
+        if (!r.u32(entry.task) || !r.u64(entry.epoch) ||
+            !r.f64(entry.global_threshold) || !r.f64(entry.error_allowance) ||
+            !r.i64(entry.updating_period) || !r.u32(split) ||
+            split > TaskListReply::kMaxTasks)
+          return std::nullopt;
+        entry.allowance_split.reserve(split);
+        for (std::uint32_t j = 0; j < split; ++j) {
+          MonitorId monitor = 0;
+          double allowance = 0.0;
+          if (!r.u32(monitor) || !r.f64(allowance)) return std::nullopt;
+          entry.allowance_split.emplace_back(monitor, allowance);
+        }
+        m.tasks.push_back(std::move(entry));
+      }
+      if (!r.done()) return std::nullopt;
+      return m;
+    }
+    case Type::kTaskAttach: {
+      TaskAttach m;
+      std::uint32_t patience = 0;
+      if (!r.u32(m.task) || !r.u64(m.epoch) || !r.f64(m.local_threshold) ||
+          !r.f64(m.error_allowance) || !r.f64(m.slack_ratio) ||
+          !r.u32(patience) || !r.i64(m.max_interval) ||
+          !r.i64(m.updating_period) || !r.done())
+        return std::nullopt;
+      m.patience = static_cast<std::int32_t>(patience);
+      return m;
+    }
+    case Type::kTaskDetach: {
+      TaskDetach m;
+      if (!r.u32(m.task) || !r.u64(m.epoch) || !r.done()) return std::nullopt;
+      return m;
+    }
   }
   return std::nullopt;
+}
+
+bool is_control_request(const Message& message) {
+  return std::holds_alternative<AddTask>(message) ||
+         std::holds_alternative<RemoveTask>(message) ||
+         std::holds_alternative<UpdateTask>(message) ||
+         std::holds_alternative<ListTasks>(message);
 }
 
 }  // namespace volley::net

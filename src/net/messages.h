@@ -10,6 +10,26 @@
 //                            StatsReply carrying the coordinator's metrics
 //                            snapshot and optional trace export, and is
 //                            disconnected; it never counts as a monitor)
+//   control client <-> coordinator:  AddTask / RemoveTask / UpdateTask /
+//                            ListTasks, answered by ControlReply (mutations)
+//                            or TaskListReply (list). Served like stats
+//                            requests: sent on a fresh connection in place
+//                            of Hello, one reply, then disconnect. The
+//                            control path (tools/volleyctl) mutates the
+//                            coordinator's durable task registry
+//                            (src/control) at runtime.
+//   coordinator -> monitor:  TaskAttach / TaskDetach — pushes the live task
+//                            set (id, epoch, local threshold, allowance,
+//                            sampler knobs) so monitors create and retire
+//                            samplers without restarting. Epochs are the
+//                            registry's monotone revision numbers: a
+//                            monitor applies an attach only when its epoch
+//                            is not older than what it already runs.
+//
+// Multi-task scoping: LocalViolation, PollRequest, PollResponse,
+// StatsReport and AllowanceUpdate carry the TaskId they belong to (0 is the
+// boot task a daemon seeds from its command line), so one session
+// multiplexes any number of concurrent monitoring tasks.
 //
 // Liveness: monitors heartbeat on a wall-clock interval; the coordinator
 // acks each one. A silent monitor is declared *suspect* after
@@ -29,10 +49,13 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "common/clock.h"
+#include "control/task_registry.h"
+#include "core/task.h"
 #include "core/types.h"
 
 namespace volley::net {
@@ -49,11 +72,13 @@ struct LocalViolation {
   MonitorId monitor{0};
   Tick tick{0};
   double value{0.0};
+  TaskId task{0};
 };
 
 struct PollRequest {
   Tick tick{0};
   std::uint64_t poll_id{0};
+  TaskId task{0};
 };
 
 struct PollResponse {
@@ -61,6 +86,7 @@ struct PollResponse {
   std::uint64_t poll_id{0};
   Tick tick{0};
   double value{0.0};
+  TaskId task{0};
 };
 
 struct StatsReport {
@@ -68,10 +94,12 @@ struct StatsReport {
   double avg_gain{0.0};
   double avg_allowance{0.0};
   std::int64_t observations{0};
+  TaskId task{0};
 };
 
 struct AllowanceUpdate {
   double error_allowance{0.0};
+  TaskId task{0};
 };
 
 struct Bye {
@@ -117,10 +145,97 @@ struct StatsReply {
   std::string trace_jsonl;
 };
 
+// --- control plane --------------------------------------------------------
+
+/// Control client -> coordinator: register a new task. The coordinator
+/// validates the spec, journals the registry op, seeds the task's error
+/// allowance (even split), and pushes TaskAttach to every live monitor.
+struct AddTask {
+  TaskId task{0};
+  TaskSpec spec{};
+};
+
+/// Control client -> coordinator: retire a task. Pushes TaskDetach.
+struct RemoveTask {
+  TaskId task{0};
+};
+
+/// Control client -> coordinator: re-spec a live task (new threshold /
+/// allowance / sampler knobs). Assigns a fresh epoch and re-runs the
+/// allowance allocation for the task before pushing TaskAttach updates.
+struct UpdateTask {
+  TaskId task{0};
+  TaskSpec spec{};
+};
+
+/// Control client -> coordinator: enumerate the live task set.
+struct ListTasks {};
+
+/// Coordinator -> control client: outcome of Add/Remove/UpdateTask.
+/// `status` is control::ControlStatus on the wire (u8); `epoch` is the
+/// revision assigned on success; `registry_version` the registry's version
+/// after the mutation (also on failure, for observability).
+struct ControlReply {
+  control::ControlStatus status{control::ControlStatus::kOk};
+  std::uint64_t epoch{0};
+  std::uint64_t registry_version{0};
+  std::string message{};
+};
+
+/// One task row of a TaskListReply: the registry record plus the
+/// coordinator's current per-monitor error-allowance split for the task.
+struct TaskEntry {
+  TaskId task{0};
+  std::uint64_t epoch{0};
+  double global_threshold{0.0};
+  double error_allowance{0.0};
+  Tick updating_period{0};
+  std::vector<std::pair<MonitorId, double>> allowance_split{};
+};
+
+/// Coordinator -> control client: the live task set, ascending task id.
+struct TaskListReply {
+  std::uint64_t registry_version{0};
+  std::vector<TaskEntry> tasks{};
+
+  /// Decode-time sanity cap on the task count: a corrupt frame must not
+  /// drive a near-unbounded parse loop. Generous versus kMaxFrameBytes.
+  static constexpr std::uint32_t kMaxTasks = 4096;
+};
+
+/// Coordinator -> monitor: run this task (create the sampler if unknown,
+/// apply the new revision if the epoch is newer, resync the allowance if it
+/// is the same revision). Carries everything a monitor needs to instantiate
+/// the task locally.
+struct TaskAttach {
+  TaskId task{0};
+  std::uint64_t epoch{0};
+  double local_threshold{0.0};
+  double error_allowance{0.0};
+  double slack_ratio{0.2};
+  std::int32_t patience{20};
+  Tick max_interval{40};
+  Tick updating_period{1000};
+};
+
+/// Coordinator -> monitor: retire this task (drop its sampler). The epoch
+/// is the removal revision; an attach with a lower epoch must not resurrect
+/// the task.
+struct TaskDetach {
+  TaskId task{0};
+  std::uint64_t epoch{0};
+};
+
 using Message =
     std::variant<Hello, LocalViolation, PollRequest, PollResponse, StatsReport,
                  AllowanceUpdate, Bye, Shutdown, Heartbeat, HeartbeatAck,
-                 StatsRequest, StatsReply>;
+                 StatsRequest, StatsReply, AddTask, RemoveTask, UpdateTask,
+                 ListTasks, ControlReply, TaskListReply, TaskAttach,
+                 TaskDetach>;
+
+/// True for the frames a control client opens a connection with (served
+/// pre-Hello, one reply, then disconnect — like StatsRequest).
+bool is_control_request(const Message& message);
 
 /// Serializes a message (payload only; add framing separately).
 std::vector<std::byte> encode(const Message& message);

@@ -22,6 +22,8 @@ struct MonitorNodeMetrics {
   obs::Counter* reconnect_attempts;
   obs::Counter* reconnects;
   obs::Counter* degraded_ticks;
+  obs::Counter* task_attaches;
+  obs::Counter* task_detaches;
 
   static MonitorNodeMetrics make(obs::MetricsRegistry& m) {
     return MonitorNodeMetrics{
@@ -31,6 +33,10 @@ struct MonitorNodeMetrics {
                    "Successful session resumes (Hello{resume} accepted)"),
         &m.counter("volley_net_degraded_ticks_total",
                    "Ticks spent sampling in degraded (coordinator-less) mode"),
+        &m.counter("volley_net_task_attaches_total",
+                   "TaskAttach frames applied (new or newer-epoch revisions)"),
+        &m.counter("volley_net_task_detaches_total",
+                   "TaskDetach frames applied (samplers retired)"),
     };
   }
 
@@ -43,7 +49,7 @@ struct MonitorNodeMetrics {
 MonitorNode::MonitorNode(const MonitorNodeOptions& options,
                          const MetricSource& source)
     : options_(options),
-      monitor_(options.id, source, options.sampler, options.local_threshold),
+      source_(&source),
       jitter_rng_(static_cast<std::uint64_t>(options.id) * 7919 + 17) {
   if (!options.sample_log_path.empty()) {
     sample_log_ = std::make_unique<SampleLogWriter>(options.sample_log_path);
@@ -57,6 +63,55 @@ MonitorNode::MonitorNode(const MonitorNodeOptions& options,
   if (options.reconnect_backoff_ms <= 0 ||
       options.reconnect_backoff_max_ms < options.reconnect_backoff_ms)
     throw std::invalid_argument("MonitorNode: bad reconnect backoff");
+  // Seed the boot task (id 0, epoch 1) from the node's own options; the
+  // coordinator seeds the same record, so its attach push is a no-op here.
+  TaskState boot;
+  boot.epoch = kBootTaskEpoch;
+  boot.updating_period = options.updating_period;
+  boot.next_report = options.updating_period;
+  boot.monitor = std::make_unique<Monitor>(options.id, source, options.sampler,
+                                           options.local_threshold);
+  boot_allowance_ = boot.monitor->error_allowance();
+  tasks_.emplace(kBootTaskId, std::move(boot));
+  known_epochs_[kBootTaskId] = kBootTaskEpoch;
+}
+
+std::int64_t MonitorNode::scheduled_ops() const {
+  std::int64_t n = retired_scheduled_;
+  for (const auto& [task, state] : tasks_) n += state.monitor->scheduled_ops();
+  return n;
+}
+
+std::int64_t MonitorNode::forced_ops() const {
+  std::int64_t n = retired_forced_;
+  for (const auto& [task, state] : tasks_) n += state.monitor->forced_ops();
+  return n;
+}
+
+std::int64_t MonitorNode::local_violations() const {
+  std::int64_t n = retired_violations_;
+  for (const auto& [task, state] : tasks_)
+    n += state.monitor->local_violations();
+  return n;
+}
+
+double MonitorNode::final_allowance() const {
+  const auto it = tasks_.find(kBootTaskId);
+  return it != tasks_.end() ? it->second.monitor->error_allowance()
+                            : boot_allowance_;
+}
+
+std::map<TaskId, std::uint64_t> MonitorNode::task_epochs() const {
+  return known_epochs_;
+}
+
+std::int64_t MonitorNode::task_local_violations(TaskId task) const {
+  std::int64_t n = 0;
+  const auto retired = retired_task_violations_.find(task);
+  if (retired != retired_task_violations_.end()) n += retired->second;
+  const auto it = tasks_.find(task);
+  if (it != tasks_.end()) n += it->second.monitor->local_violations();
+  return n;
 }
 
 bool MonitorNode::send(const Message& m) {
@@ -78,7 +133,7 @@ void MonitorNode::drop_connection() {
   next_attempt_ms_ = now_ms();  // first retry is immediate
 }
 
-bool MonitorNode::try_attach(bool resume) {
+bool MonitorNode::try_attach_session(bool resume) {
   auto conn = TcpConnection::try_connect(options_.coordinator_host,
                                          options_.coordinator_port,
                                          options_.connect_timeout_ms);
@@ -97,7 +152,7 @@ void MonitorNode::maybe_reconnect(std::int64_t now) {
   if (connected_ || coordinator_lost_) return;
   if (now < next_attempt_ms_) return;
   MonitorNodeMetrics::get().reconnect_attempts->inc();
-  if (try_attach(/*resume=*/ever_connected_)) {
+  if (try_attach_session(/*resume=*/ever_connected_)) {
     failed_attempts_ = 0;
     if (ever_connected_) {
       ++reconnects_;
@@ -133,6 +188,56 @@ void MonitorNode::heartbeat_if_due(std::int64_t now) {
   }
 }
 
+void MonitorNode::retire_monitor(TaskId task, const Monitor& monitor) {
+  retired_scheduled_ += monitor.scheduled_ops();
+  retired_forced_ += monitor.forced_ops();
+  retired_violations_ += monitor.local_violations();
+  retired_task_violations_[task] += monitor.local_violations();
+  if (task == kBootTaskId) boot_allowance_ = monitor.error_allowance();
+}
+
+void MonitorNode::apply_attach(const TaskAttach& attach, Tick t) {
+  auto& known = known_epochs_[attach.task];
+  if (attach.epoch <= known) return;  // replayed / stale revision: no-op
+  known = attach.epoch;
+  const auto existing = tasks_.find(attach.task);
+  if (existing != tasks_.end()) {
+    // Re-spec: the sampler restarts with the new knobs (adaptation state
+    // does not survive a revision — the new spec may change the rules it
+    // adapted under). Its op counts fold into the retired totals.
+    retire_monitor(attach.task, *existing->second.monitor);
+    tasks_.erase(existing);
+  }
+  AdaptiveSamplerOptions sampler = options_.sampler;  // keep estimator knobs
+  sampler.error_allowance = attach.error_allowance;
+  sampler.slack_ratio = attach.slack_ratio;
+  sampler.patience = attach.patience;
+  sampler.max_interval = attach.max_interval;
+  TaskState state;
+  state.epoch = attach.epoch;
+  state.updating_period = std::max<Tick>(attach.updating_period, 1);
+  state.next_report = t + state.updating_period;
+  state.monitor = std::make_unique<Monitor>(options_.id, *source_, sampler,
+                                            attach.local_threshold);
+  tasks_.emplace(attach.task, std::move(state));
+  MonitorNodeMetrics::get().task_attaches->inc();
+  VLOG_INFO("monitor", "attached task ", attach.task, " at epoch ",
+            attach.epoch);
+}
+
+void MonitorNode::apply_detach(const TaskDetach& detach) {
+  auto& known = known_epochs_[detach.task];
+  if (detach.epoch <= known) return;
+  known = detach.epoch;  // tombstone: older attaches cannot resurrect it
+  const auto it = tasks_.find(detach.task);
+  if (it == tasks_.end()) return;
+  retire_monitor(detach.task, *it->second.monitor);
+  tasks_.erase(it);
+  MonitorNodeMetrics::get().task_detaches->inc();
+  VLOG_INFO("monitor", "detached task ", detach.task, " at epoch ",
+            detach.epoch);
+}
+
 MonitorNode::ServiceResult MonitorNode::service_messages(Tick t) {
   std::array<std::byte, 4096> buf;
   bool peer_closed = false;
@@ -157,20 +262,34 @@ MonitorNode::ServiceResult MonitorNode::service_messages(Tick t) {
     if (std::holds_alternative<HeartbeatAck>(*message)) {
       continue;  // its arrival already refreshed last_rx_ms_
     }
-    if (const auto* update = std::get_if<AllowanceUpdate>(&*message)) {
+    if (const auto* attach = std::get_if<TaskAttach>(&*message)) {
+      apply_attach(*attach, t);
+    } else if (const auto* detach = std::get_if<TaskDetach>(&*message)) {
+      apply_detach(*detach);
+    } else if (const auto* update = std::get_if<AllowanceUpdate>(&*message)) {
       // Initial allocation, periodic reallocation, and the post-reconnect
       // allowance resync all arrive through here.
-      monitor_.set_error_allowance(update->error_allowance);
+      const auto it = tasks_.find(update->task);
+      if (it != tasks_.end()) {
+        it->second.monitor->set_error_allowance(update->error_allowance);
+      }
     } else if (const auto* poll = std::get_if<PollRequest>(&*message)) {
-      // Answer with the freshest value this node can produce: its state at
-      // the current local tick (cached when it already sampled this tick).
-      const auto outcome = monitor_.force_sample(t);
-      log_sample(outcome);
+      // Answer with the freshest value this node can produce for the task:
+      // its state at the current local tick (cached when it already sampled
+      // this tick). TaskAttach rides the same FIFO connection, so a poll
+      // for an unknown task means the task was detached concurrently —
+      // answer 0 so the coordinator's poll still completes.
       PollResponse resp;
       resp.monitor = options_.id;
       resp.poll_id = poll->poll_id;
       resp.tick = t;
-      resp.value = outcome.sample.value;
+      resp.task = poll->task;
+      const auto it = tasks_.find(poll->task);
+      if (it != tasks_.end()) {
+        const auto outcome = it->second.monitor->force_sample(t);
+        log_sample(outcome);
+        resp.value = outcome.sample.value;
+      }
       if (!send(resp)) return ServiceResult::kDisconnected;
     }
   }
@@ -184,11 +303,10 @@ MonitorNode::ServiceResult MonitorNode::service_messages(Tick t) {
 void MonitorNode::run() {
   backoff_ms_ = options_.reconnect_backoff_ms;
   next_attempt_ms_ = now_ms();
-  if (try_attach(/*resume=*/false)) {
+  if (try_attach_session(/*resume=*/false)) {
     ever_connected_ = true;
   }
 
-  Tick next_report = options_.updating_period;
   for (Tick t = 0; t < options_.ticks && !stop_.load(); ++t) {
     const std::int64_t now = now_ms();
     if (connected_) {
@@ -210,32 +328,42 @@ void MonitorNode::run() {
     maybe_reconnect(now);
 
     if (connected_) {
-      if (monitor_.due(t)) {
-        const auto outcome = monitor_.step(t);
-        log_sample(outcome);
-        if (outcome.local_violation) {
-          LocalViolation report;
-          report.monitor = options_.id;
-          report.tick = t;
-          report.value = outcome.sample.value;
-          send(report);  // failure flips to degraded mode; keep ticking
+      for (auto& [task, state] : tasks_) {
+        if (state.monitor->due(t)) {
+          const auto outcome = state.monitor->step(t);
+          log_sample(outcome);
+          if (outcome.local_violation) {
+            LocalViolation report;
+            report.monitor = options_.id;
+            report.tick = t;
+            report.value = outcome.sample.value;
+            report.task = task;
+            send(report);  // failure flips to degraded mode; keep ticking
+          }
+          if (!connected_) break;
         }
       }
-      if (connected_ && t >= next_report) {
-        const CoordStats stats = monitor_.drain_coord_stats();
-        StatsReport report;
-        report.monitor = options_.id;
-        report.avg_gain = stats.avg_gain;
-        report.avg_allowance = stats.avg_allowance;
-        report.observations = stats.observations;
-        if (send(report)) next_report = t + options_.updating_period;
+      for (auto& [task, state] : tasks_) {
+        if (!connected_) break;
+        if (t >= state.next_report) {
+          const CoordStats stats = state.monitor->drain_coord_stats();
+          StatsReport report;
+          report.monitor = options_.id;
+          report.avg_gain = stats.avg_gain;
+          report.avg_allowance = stats.avg_allowance;
+          report.observations = stats.observations;
+          report.task = task;
+          if (send(report)) state.next_report = t + state.updating_period;
+        }
       }
     } else {
       // Degraded mode: fall back to periodic sampling at the default
       // interval — the conservative schedule — so the violation likelihood
       // of the unobserved window is zero while the coordinator is away.
-      const auto outcome = monitor_.force_sample(t);
-      log_sample(outcome);
+      for (auto& [task, state] : tasks_) {
+        const auto outcome = state.monitor->force_sample(t);
+        log_sample(outcome);
+      }
       ++degraded_ticks_;
       MonitorNodeMetrics::get().degraded_ticks->inc();
     }
@@ -247,8 +375,8 @@ void MonitorNode::run() {
 
   Bye bye;
   bye.monitor = options_.id;
-  bye.scheduled_ops = monitor_.scheduled_ops();
-  bye.forced_ops = monitor_.forced_ops();
+  bye.scheduled_ops = scheduled_ops();
+  bye.forced_ops = forced_ops();
   if (!send(bye)) return;
 
   // Keep answering polls (and heartbeating) for stragglers until Shutdown

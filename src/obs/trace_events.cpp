@@ -10,10 +10,10 @@ namespace volley::obs {
 
 namespace {
 
-constexpr std::array<const char*, 8> kKindNames = {
+constexpr std::array<const char*, 9> kKindNames = {
     "sample_taken",        "interval_chosen",    "allowance_adjusted",
     "allowance_reclaimed", "alert_raised",       "misdetect_window",
-    "liveness_transition", "reconnect_attempt",
+    "liveness_transition", "reconnect_attempt",  "task_registry_change",
 };
 
 std::string fmt_double(double v) {

@@ -28,6 +28,10 @@
 //   kReconnectAttempt   monitor retried its      value = consecutive failed
 //                       coordinator link         attempts so far, detail =
 //                                                next backoff in ms
+//   kTaskRegistryChange control plane mutated    monitor = task id, value =
+//                       the task registry        epoch assigned, detail =
+//                                                op (1 add / 2 update /
+//                                                 3 remove)
 //
 // Events land in a bounded ring-buffer sink (common/ring_buffer.h): the
 // newest `capacity` events win, the oldest are overwritten — observability
@@ -58,6 +62,7 @@ enum class TraceKind : std::uint8_t {
   kMisdetectWindow = 5,
   kLivenessTransition = 6,
   kReconnectAttempt = 7,
+  kTaskRegistryChange = 8,
 };
 
 /// Stable snake_case name ("sample_taken", ...) used in the JSONL export.

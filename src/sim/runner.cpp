@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "control/task_registry.h"
 #include "obs/metrics.h"
 
 namespace volley {
@@ -271,6 +274,168 @@ CorrelatedGroupResult run_correlated_group(
     score_detection(r, truth, detected[i]);
   }
   return result;
+  });
+}
+
+namespace {
+
+/// One live task instance of run_dynamic_tasks: its Coordinator over the
+/// shared series plus the bookkeeping for window-scoped scoring.
+struct LiveDynamicTask {
+  std::uint64_t epoch{0};
+  Tick arrived{0};
+  std::unique_ptr<Coordinator> coordinator;
+  std::vector<char> detected;  // full run length; zeros outside the window
+  std::int64_t local_violations{0};
+};
+
+/// Accuracy scoring restricted to the instance's active window: only truth
+/// ticks within [begin, end) count, and an episode counts when it overlaps
+/// the window (detected when any overlap tick was detected).
+void score_window(RunResult& result, const GroundTruth& truth,
+                  std::span<const char> detected, Tick begin, Tick end) {
+  for (Tick t = begin; t < end; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (!truth.alert[i]) continue;
+    ++result.true_alert_ticks;
+    if (detected[i]) ++result.detected_alert_ticks;
+  }
+  for (const auto& [start, stop] : truth.episodes) {
+    const Tick lo = std::max(start, begin);
+    const Tick hi = std::min(stop, end);
+    if (lo >= hi) continue;
+    ++result.true_episodes;
+    for (Tick t = lo; t < hi; ++t) {
+      if (detected[static_cast<std::size_t>(t)]) {
+        ++result.detected_episodes;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t DynamicRunResult::total_ops() const {
+  std::int64_t ops = 0;
+  for (const auto& task : tasks) ops += task.result.total_ops();
+  return ops;
+}
+
+DynamicRunResult run_dynamic_tasks(std::span<const TimeSeries> monitor_series,
+                                   std::span<const TaskChurnEvent> events,
+                                   AllocatorKind allocator) {
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_dynamic_tasks: no monitors");
+  const Tick ticks = monitor_series.front().ticks();
+  for (const auto& s : monitor_series) {
+    if (s.ticks() != ticks)
+      throw std::invalid_argument("run_dynamic_tasks: series length mismatch");
+  }
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].tick < events[i - 1].tick)
+      throw std::invalid_argument("run_dynamic_tasks: events not sorted");
+  }
+  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+
+  return with_run_registry([&]() {
+    control::TaskRegistry registry;
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    sources.reserve(monitor_series.size());
+    for (const auto& s : monitor_series)
+      sources.push_back(std::make_unique<SeriesSource>(s));
+
+    DynamicRunResult run;
+    std::map<TaskId, LiveDynamicTask> live;
+    // Ground truth per distinct threshold, cached: churn events commonly
+    // re-add tasks at a previously seen threshold.
+    std::map<double, GroundTruth> truths;
+    const auto truth_for = [&](double threshold) -> const GroundTruth& {
+      auto it = truths.find(threshold);
+      if (it == truths.end()) {
+        it = truths
+                 .emplace(threshold,
+                          GroundTruth::from_series(aggregate, threshold))
+                 .first;
+      }
+      return it->second;
+    };
+
+    const auto finalize = [&](TaskId id, LiveDynamicTask& task,
+                              Tick departed) {
+      DynamicTaskResult out;
+      out.task = id;
+      out.epoch = task.epoch;
+      out.arrived = task.arrived;
+      out.departed = departed;
+      RunResult& r = out.result;
+      r.ticks = departed - task.arrived;
+      r.monitors = monitor_series.size();
+      const Coordinator& coordinator = *task.coordinator;
+      for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+        r.scheduled_ops += coordinator.monitor(i).scheduled_ops();
+        r.forced_ops += coordinator.monitor(i).forced_ops();
+      }
+      r.total_cost = coordinator.total_cost();
+      r.local_violations = task.local_violations;
+      r.global_polls = coordinator.global_polls();
+      r.reallocations = coordinator.reallocations();
+      score_window(r, truth_for(coordinator.spec().global_threshold),
+                   task.detected, task.arrived, departed);
+      run.tasks.push_back(std::move(out));
+    };
+
+    std::size_t next_event = 0;
+    for (Tick t = 0; t < ticks; ++t) {
+      while (next_event < events.size() && events[next_event].tick <= t) {
+        const TaskChurnEvent& event = events[next_event++];
+        if (event.kind == TaskChurnEvent::Kind::kArrive) {
+          const auto result = registry.add(event.task, event.spec);
+          if (!result.ok())
+            throw std::invalid_argument("run_dynamic_tasks: arrive: " +
+                                        result.error);
+          const auto thresholds = split_threshold(
+              event.spec.global_threshold, monitor_series.size());
+          std::vector<std::unique_ptr<Monitor>> monitors;
+          monitors.reserve(monitor_series.size());
+          for (std::size_t i = 0; i < monitor_series.size(); ++i) {
+            monitors.push_back(std::make_unique<Monitor>(
+                static_cast<MonitorId>(i), *sources[i],
+                event.spec.sampler_options(event.spec.error_allowance),
+                thresholds[i]));
+          }
+          LiveDynamicTask task;
+          task.epoch = result.epoch;
+          task.arrived = t;
+          task.coordinator = std::make_unique<Coordinator>(
+              event.spec, std::move(monitors), make_allocator(allocator));
+          task.detected.assign(static_cast<std::size_t>(ticks), 0);
+          live.emplace(event.task, std::move(task));
+          ++run.arrivals;
+        } else {
+          const auto it = live.find(event.task);
+          if (it == live.end())
+            throw std::invalid_argument(
+                "run_dynamic_tasks: depart of unknown task");
+          const auto removed = registry.remove(event.task);
+          if (!removed.ok())
+            throw std::invalid_argument("run_dynamic_tasks: depart: " +
+                                        removed.error);
+          finalize(event.task, it->second, t);
+          live.erase(it);
+          ++run.departures;
+        }
+      }
+      for (auto& [id, task] : live) {
+        const auto tick = task.coordinator->run_tick(t);
+        if (tick.global_violation)
+          task.detected[static_cast<std::size_t>(t)] = 1;
+        task.local_violations += tick.local_violations;
+      }
+    }
+    for (auto& [id, task] : live) finalize(id, task, ticks);
+    run.registry_version = registry.version();
+    return run;
   });
 }
 

@@ -9,6 +9,7 @@
 // objects at datacenter scale with heterogeneous default intervals.)
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -95,5 +96,52 @@ CorrelatedGroupResult run_correlated_group(
     std::span<const CorrelatedTask> tasks,
     const CorrelationScheduler::Options& scheduler_options,
     bool enable_gating);
+
+// --- dynamic task churn ---------------------------------------------------
+
+/// A mid-run change to the task set of run_dynamic_tasks: a task arriving
+/// (with its spec) or departing at a given tick. Arrivals take effect
+/// before the tick runs; departures stop the task from running that tick.
+struct TaskChurnEvent {
+  enum class Kind { kArrive, kDepart };
+  Kind kind{Kind::kArrive};
+  Tick tick{0};
+  TaskId task{0};
+  TaskSpec spec{};  // kArrive only
+};
+
+/// One completed task instance of a dynamic run: accuracy and cost scored
+/// over the instance's active window [arrived, departed).
+struct DynamicTaskResult {
+  TaskId task{0};
+  std::uint64_t epoch{0};  // registry revision the instance ran at
+  Tick arrived{0};
+  Tick departed{0};        // end-of-run tick for tasks still live at the end
+  RunResult result{};
+};
+
+struct DynamicRunResult {
+  std::vector<DynamicTaskResult> tasks;  // completed instances, in order
+  std::uint64_t registry_version{0};     // epochs consumed by the churn
+  std::int64_t arrivals{0};
+  std::int64_t departures{0};
+
+  std::int64_t total_ops() const;
+};
+
+/// Runs a *dynamic* task set over the shared monitor series: tasks arrive
+/// and depart mid-run per `events` (the in-process mirror of the control
+/// plane's AddTask/RemoveTask), each task monitoring every series with an
+/// even local-threshold split and its own error-allowance allocation. Task
+/// revisions draw epochs from a control::TaskRegistry, so the run reports
+/// the same epoch numbering the wire runtime would assign. Events must be
+/// sorted by tick; an arrival for a live id or a departure for an unknown
+/// id throws. Use it to measure the adaptation cost of task churn — how a
+/// freshly arrived task's sampling cost converges while standing tasks keep
+/// their tuned intervals.
+DynamicRunResult run_dynamic_tasks(std::span<const TimeSeries> monitor_series,
+                                   std::span<const TaskChurnEvent> events,
+                                   AllocatorKind allocator =
+                                       AllocatorKind::kAdaptive);
 
 }  // namespace volley

@@ -2,13 +2,17 @@
 //
 //   volley_stats port=7601 [host=127.0.0.1] [format=prometheus|json]
 //                [trace=0|1] [timeout_ms=2000]
+//   volley_stats --tasks port=7601 [host=127.0.0.1] [timeout_ms=2000]
 //
 // Connects to a running volleyd_coordinator, sends a StatsRequest in place
 // of Hello, and pretty-prints the single StatsReply: session counters
 // (global polls, reallocations, alerts), the process-global metrics
 // registry (Prometheus text by default, JSON with format=json), and — with
-// trace=1 — the newest structured trace events as JSONL. The coordinator
-// drops the connection after replying; this tool never counts as a monitor.
+// trace=1 — the newest structured trace events as JSONL. With --tasks it
+// sends a ListTasks control frame instead and prints the live task set:
+// id, epoch, global threshold, task error allowance, and the coordinator's
+// current per-monitor allowance split. The coordinator drops the
+// connection after replying; this tool never counts as a monitor.
 #include <cstdio>
 #include <array>
 #include <chrono>
@@ -22,7 +26,18 @@
 
 int main(int argc, char** argv) {
   using namespace volley;
-  std::vector<std::string> args(argv + 1, argv + argc);
+  // --tasks is the one flag without '='; Config rejects it, so peel it off
+  // before parsing the key=value remainder.
+  bool want_tasks = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tasks" || arg == "tasks") {
+      want_tasks = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
   Config config;
   try {
     config = Config::from_args(args);
@@ -31,7 +46,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (config.has("help")) {
-    std::printf("usage: volley_stats port=P [host=H] "
+    std::printf("usage: volley_stats [--tasks] port=P [host=H] "
                 "[format=prometheus|json] [trace=0|1] [timeout_ms=MS]\n");
     return 0;
   }
@@ -59,10 +74,16 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    net::StatsRequest request;
-    if (want_trace) request.flags |= net::StatsRequest::kIncludeTrace;
-    if (format == "json") request.flags |= net::StatsRequest::kMetricsJson;
-    if (!conn->send_all(frame_payload(net::encode(net::Message{request})))) {
+    net::Message request_message;
+    if (want_tasks) {
+      request_message = net::ListTasks{};
+    } else {
+      net::StatsRequest request;
+      if (want_trace) request.flags |= net::StatsRequest::kIncludeTrace;
+      if (format == "json") request.flags |= net::StatsRequest::kMetricsJson;
+      request_message = request;
+    }
+    if (!conn->send_all(frame_payload(net::encode(request_message)))) {
       std::fprintf(stderr, "volley_stats: send failed\n");
       return 1;
     }
@@ -85,6 +106,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "volley_stats: no reply within %d ms\n",
                    timeout_ms);
       return 1;
+    }
+    if (want_tasks) {
+      const auto* list = std::get_if<net::TaskListReply>(&*reply);
+      if (!list) {
+        std::fprintf(stderr, "volley_stats: unexpected reply type\n");
+        return 1;
+      }
+      std::printf("# coordinator %s:%u registry_version=%llu tasks=%zu\n",
+                  host.c_str(), port,
+                  static_cast<unsigned long long>(list->registry_version),
+                  list->tasks.size());
+      std::printf("%6s %8s %12s %12s %10s  %s\n", "task", "epoch",
+                  "threshold", "err", "period", "allowance split");
+      for (const auto& task : list->tasks) {
+        std::printf("%6u %8llu %12.4f %12.6f %10lld  ", task.task,
+                    static_cast<unsigned long long>(task.epoch),
+                    task.global_threshold, task.error_allowance,
+                    static_cast<long long>(task.updating_period));
+        for (std::size_t i = 0; i < task.allowance_split.size(); ++i) {
+          const auto& [monitor, allowance] = task.allowance_split[i];
+          std::printf("%s%u:%.6f", i == 0 ? "" : " ", monitor, allowance);
+        }
+        std::printf("\n");
+      }
+      return 0;
     }
     const auto* stats = std::get_if<net::StatsReply>(&*reply);
     if (!stats) {

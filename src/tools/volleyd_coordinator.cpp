@@ -1,12 +1,18 @@
 // volleyd_coordinator — the Volley coordinator as a standalone daemon.
 //
 //   volleyd_coordinator monitors=3 port=7601 threshold=9.0 err=0.03 \
-//                       allocation=adaptive poll_timeout_ms=1000
+//                       allocation=adaptive poll_timeout_ms=1000 \
+//                       registry=/var/lib/volley/registry
 //
 // Listens for `monitors` MonitorNode connections, runs the session
 // (global polls on local violations, error-allowance reallocation), prints
 // alerts as they arrive after the run, and exits when all monitors say Bye.
 // port=0 picks a free port and prints it, so scripts can wire monitors up.
+//
+// threshold/err describe the *boot task* (task 0); further tasks are added
+// at runtime with tools/volleyctl. With registry=PATH the task registry is
+// durable (PATH.snapshot + PATH.journal) and a restarted coordinator
+// resumes the full task set at its exact epochs.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,7 +34,8 @@ int main(int argc, char** argv) {
     std::printf("usage: volleyd_coordinator monitors=N [port=P] "
                 "[threshold=T] [err=E] [allocation=adaptive|even] "
                 "[poll_timeout_ms=MS] [idle_timeout_ms=MS] "
-                "[heartbeat_timeout_ms=MS] [staleness_bound_ms=MS]\n");
+                "[heartbeat_timeout_ms=MS] [staleness_bound_ms=MS] "
+                "[registry=PATH]\n");
     return 0;
   }
 
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
         static_cast<int>(config.get_int("heartbeat_timeout_ms", 2000));
     options.staleness_bound_ms =
         static_cast<int>(config.get_int("staleness_bound_ms", 6000));
+    options.registry_path = config.get_string("registry", "");
 
     net::CoordinatorNode node(options);
     std::printf("volleyd_coordinator: listening on 127.0.0.1:%u for %zu "
@@ -56,6 +64,15 @@ int main(int argc, char** argv) {
                 node.port(), options.monitors, options.global_threshold,
                 options.error_allowance,
                 options.adaptive_allocation ? "adaptive" : "even");
+    if (!options.registry_path.empty()) {
+      const auto& load = node.registry_load_stats();
+      std::printf("registry: %zu task(s) at version %llu (%s%zu journal "
+                  "op(s)%s)\n",
+                  node.registry().size(),
+                  static_cast<unsigned long long>(node.registry().version()),
+                  load.had_snapshot ? "snapshot + " : "", load.journal_ops,
+                  load.journal_clean ? "" : ", torn tail dropped");
+    }
     std::fflush(stdout);
     node.run();
 
@@ -65,7 +82,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(node.reallocations()),
                 node.alerts().size());
     for (const auto& alert : node.alerts()) {
-      std::printf("  ALERT tick=%lld aggregate=%.3f\n",
+      std::printf("  ALERT task=%u tick=%lld aggregate=%.3f\n", alert.task,
                   static_cast<long long>(alert.tick), alert.value);
     }
     for (const auto& [id, ops] : node.reported_ops()) {

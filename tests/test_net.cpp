@@ -205,6 +205,161 @@ TEST(Messages, DecodeRejectsGarbage) {
   EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value());
 }
 
+// --- control-plane frames -------------------------------------------------
+
+TaskSpec control_spec(double threshold) {
+  TaskSpec spec;
+  spec.global_threshold = threshold;
+  spec.error_allowance = 0.05;
+  spec.id_seconds = 3.0;
+  spec.max_interval = 16;
+  spec.slack_ratio = 0.25;
+  spec.patience = 5;
+  spec.updating_period = 600;
+  spec.estimator.bound = ViolationLikelihoodEstimator::Bound::kGaussian;
+  return spec;
+}
+
+TEST(Messages, AddUpdateTaskRoundTripCarrySpec) {
+  const auto add = round_trip(net::AddTask{9, control_spec(33.0)});
+  EXPECT_EQ(add.task, 9u);
+  EXPECT_TRUE(control::specs_equal(add.spec, control_spec(33.0)));
+
+  const auto update = round_trip(net::UpdateTask{9, control_spec(44.0)});
+  EXPECT_EQ(update.task, 9u);
+  EXPECT_DOUBLE_EQ(update.spec.global_threshold, 44.0);
+}
+
+TEST(Messages, RemoveListControlReplyRoundTrip) {
+  EXPECT_EQ(round_trip(net::RemoveTask{3}).task, 3u);
+  EXPECT_NO_THROW(round_trip(net::ListTasks{}));
+
+  net::ControlReply reply;
+  reply.status = control::ControlStatus::kExists;
+  reply.epoch = 17;
+  reply.registry_version = 19;
+  reply.message = "task 3 already exists";
+  const auto out = round_trip(reply);
+  EXPECT_EQ(out.status, control::ControlStatus::kExists);
+  EXPECT_EQ(out.epoch, 17u);
+  EXPECT_EQ(out.registry_version, 19u);
+  EXPECT_EQ(out.message, reply.message);
+}
+
+TEST(Messages, ControlReplyRejectsUnknownStatusByte) {
+  auto bytes = net::encode(Message{net::ControlReply{}});
+  bytes[1] = std::byte{99};  // status is the first field after the type
+  EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value());
+}
+
+TEST(Messages, TaskListReplyRoundTrip) {
+  net::TaskListReply reply;
+  reply.registry_version = 42;
+  net::TaskEntry entry;
+  entry.task = 7;
+  entry.epoch = 41;
+  entry.global_threshold = 30.0;
+  entry.error_allowance = 0.06;
+  entry.updating_period = 500;
+  entry.allowance_split = {{0, 0.02}, {1, 0.03}, {2, 0.01}};
+  reply.tasks = {entry, net::TaskEntry{}};
+
+  const auto out = round_trip(reply);
+  EXPECT_EQ(out.registry_version, 42u);
+  ASSERT_EQ(out.tasks.size(), 2u);
+  EXPECT_EQ(out.tasks[0].task, 7u);
+  EXPECT_EQ(out.tasks[0].epoch, 41u);
+  EXPECT_DOUBLE_EQ(out.tasks[0].global_threshold, 30.0);
+  ASSERT_EQ(out.tasks[0].allowance_split.size(), 3u);
+  EXPECT_EQ(out.tasks[0].allowance_split[1].first, 1u);
+  EXPECT_DOUBLE_EQ(out.tasks[0].allowance_split[1].second, 0.03);
+  EXPECT_TRUE(out.tasks[1].allowance_split.empty());
+}
+
+TEST(Messages, TaskListReplyRejectsOversizedCounts) {
+  // An empty reply is 13 bytes: type | u64 version | u32 count. Patching
+  // the count past kMaxTasks must fail the decode outright (a corrupt count
+  // must not drive a near-unbounded parse loop), and a smaller-but-wrong
+  // count must fail on truncation.
+  const auto base = net::encode(Message{net::TaskListReply{}});
+  ASSERT_EQ(base.size(), 13u);
+
+  auto oversized = base;
+  const std::uint32_t huge = net::TaskListReply::kMaxTasks + 1;
+  std::memcpy(oversized.data() + 9, &huge, 4);
+  EXPECT_FALSE(net::decode(as_bytes(oversized)).has_value());
+
+  auto lying = base;
+  const std::uint32_t one = 1;
+  std::memcpy(lying.data() + 9, &one, 4);  // promises an entry, has none
+  EXPECT_FALSE(net::decode(as_bytes(lying)).has_value());
+}
+
+TEST(Messages, TaskAttachDetachRoundTrip) {
+  net::TaskAttach attach;
+  attach.task = 4;
+  attach.epoch = 12;
+  attach.local_threshold = 2.5;
+  attach.error_allowance = 0.015;
+  attach.slack_ratio = 0.3;
+  attach.patience = -1;  // negative patience survives the u32 wire encoding
+  attach.max_interval = 64;
+  attach.updating_period = 250;
+  const auto out = round_trip(attach);
+  EXPECT_EQ(out.task, 4u);
+  EXPECT_EQ(out.epoch, 12u);
+  EXPECT_DOUBLE_EQ(out.local_threshold, 2.5);
+  EXPECT_DOUBLE_EQ(out.error_allowance, 0.015);
+  EXPECT_DOUBLE_EQ(out.slack_ratio, 0.3);
+  EXPECT_EQ(out.patience, -1);
+  EXPECT_EQ(out.max_interval, 64);
+  EXPECT_EQ(out.updating_period, 250);
+
+  const auto detach = round_trip(net::TaskDetach{4, 13});
+  EXPECT_EQ(detach.task, 4u);
+  EXPECT_EQ(detach.epoch, 13u);
+}
+
+TEST(Messages, TaskScopedFramesCarryTaskId) {
+  EXPECT_EQ(round_trip(LocalViolation{7, 11, 1.5, 3}).task, 3u);
+  EXPECT_EQ(round_trip(PollRequest{55, 99, 3}).task, 3u);
+  EXPECT_EQ(round_trip(PollResponse{1, 99, 55, 2.0, 3}).task, 3u);
+  EXPECT_EQ(round_trip(StatsReport{1, 0.5, 0.01, 10, 3}).task, 3u);
+  EXPECT_EQ(round_trip(AllowanceUpdate{0.02, 3}).task, 3u);
+}
+
+TEST(Messages, ControlFramesRejectTruncation) {
+  const std::vector<Message> frames = {
+      net::AddTask{1, control_spec(5.0)},
+      net::RemoveTask{1},
+      net::UpdateTask{1, control_spec(6.0)},
+      net::ControlReply{control::ControlStatus::kOk, 1, 1, "msg"},
+      net::TaskAttach{1, 2, 3.0, 0.01, 0.2, 20, 40, 1000},
+      net::TaskDetach{1, 2},
+  };
+  for (const auto& frame : frames) {
+    auto bytes = net::encode(frame);
+    bytes.pop_back();
+    EXPECT_FALSE(net::decode(as_bytes(bytes)).has_value())
+        << "frame type index " << frame.index();
+  }
+  // ListTasks is a bare type byte; trailing junk is the malformed case.
+  auto list = net::encode(Message{net::ListTasks{}});
+  list.push_back(std::byte{0});
+  EXPECT_FALSE(net::decode(as_bytes(list)).has_value());
+}
+
+TEST(Messages, ControlRequestClassifier) {
+  EXPECT_TRUE(net::is_control_request(net::AddTask{1, control_spec(5.0)}));
+  EXPECT_TRUE(net::is_control_request(net::RemoveTask{1}));
+  EXPECT_TRUE(net::is_control_request(net::UpdateTask{1, control_spec(5.0)}));
+  EXPECT_TRUE(net::is_control_request(net::ListTasks{}));
+  EXPECT_FALSE(net::is_control_request(Hello{0}));
+  EXPECT_FALSE(net::is_control_request(StatsRequest{}));
+  EXPECT_FALSE(net::is_control_request(net::ControlReply{}));
+  EXPECT_FALSE(net::is_control_request(net::TaskListReply{}));
+}
+
 TEST(Socket, LoopbackEcho) {
   TcpListener listener(0);
   std::thread server([&listener] {
@@ -821,6 +976,235 @@ TEST(NetFaults, ChaosProxyLossyLinkStillDetects) {
                 stats.dropped_heartbeats,
             0);
   EXPECT_GT(stats.delayed_frames + stats.partial_writes, 0);
+}
+
+// --- control plane, end to end -------------------------------------------
+
+/// One-shot control client: connect, send `request`, await a reply of type
+/// T (the coordinator answers control frames pre-Hello and disconnects).
+template <typename T>
+std::optional<T> control_round_trip(std::uint16_t port,
+                                    const Message& request,
+                                    int timeout_ms = 2500) {
+  auto conn = TcpConnection::connect("127.0.0.1", port, timeout_ms);
+  if (!conn.send_all(frame_payload(net::encode(request)))) return std::nullopt;
+  FrameReader reader;
+  std::array<std::byte, 8192> buf;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    ::poll(&pfd, 1, 100);
+    if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR))) continue;
+    const auto n = conn.recv_some(buf);
+    if (!n || *n == 0) break;
+    reader.feed(std::span<const std::byte>(buf.data(), *n));
+    if (auto payload = reader.next()) {
+      const auto reply = net::decode(as_bytes(*payload));
+      if (reply && std::holds_alternative<T>(*reply)) {
+        return std::get<T>(*reply);
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+class NetControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_base_ = ::testing::TempDir() + "volley_net_registry_" +
+                     std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::remove((registry_base_ + ".snapshot").c_str());
+    std::remove((registry_base_ + ".snapshot.tmp").c_str());
+    std::remove((registry_base_ + ".journal").c_str());
+  }
+
+  std::string registry_base_;
+};
+
+// The PR's acceptance scenario: a coordinator with three monitors runs the
+// boot task; a control client registers a second task at runtime; the
+// allowance is split and pushed to every monitor; both tasks raise alerts
+// in the same session; and a restarted coordinator recovers the registry —
+// both tasks, exact epochs — from the snapshot + journal.
+TEST_F(NetControlTest, AddTaskReallocatesAlertsAndSurvivesRestart) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 3;
+  copt.global_threshold = 10.0;  // boot task 0
+  copt.error_allowance = 0.03;
+  copt.poll_timeout_ms = 3000;
+  copt.heartbeat_timeout_ms = 8000;
+  copt.staleness_bound_ms = 8000;
+  copt.idle_timeout_ms = 10000;
+  copt.registry_path = registry_base_;
+  auto coordinator = std::make_unique<net::CoordinatorNode>(copt);
+  const std::uint16_t port = coordinator->port();
+  std::thread coord_thread([&coordinator] { coordinator->run(); });
+
+  FakeMonitor f0(port, 0);
+  FakeMonitor f1(port, 1);
+  FakeMonitor f2(port, 2);
+
+  // Joining pushes the boot task's attach (the monitors' own boot seeding
+  // makes it a no-op there, but on the wire it must carry epoch 1).
+  const auto boot_attach = f0.await<net::TaskAttach>();
+  EXPECT_EQ(boot_attach.task, kBootTaskId);
+  EXPECT_EQ(boot_attach.epoch, kBootTaskEpoch);
+  f1.await<net::TaskAttach>();
+  f2.await<net::TaskAttach>();
+
+  // A control client registers task 7 mid-session.
+  TaskSpec second = control_spec(30.0);
+  second.error_allowance = 0.06;
+  const auto reply = control_round_trip<net::ControlReply>(
+      port, net::AddTask{7, second});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, control::ControlStatus::kOk);
+  EXPECT_EQ(reply->epoch, 2u);
+  EXPECT_EQ(reply->registry_version, 2u);
+
+  // Every monitor is attached to the new task with its even shares of the
+  // threshold (30/3) and the task's error allowance (0.06/3).
+  for (FakeMonitor* f : {&f0, &f1, &f2}) {
+    const auto attach = f->await<net::TaskAttach>();
+    EXPECT_EQ(attach.task, 7u);
+    EXPECT_EQ(attach.epoch, 2u);
+    EXPECT_NEAR(attach.local_threshold, 10.0, 1e-9);
+    EXPECT_NEAR(attach.error_allowance, 0.02, 1e-9);
+  }
+
+  // ListTasks sees both tasks with their allowance splits.
+  const auto list =
+      control_round_trip<net::TaskListReply>(port, net::ListTasks{});
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(list->registry_version, 2u);
+  ASSERT_EQ(list->tasks.size(), 2u);
+  EXPECT_EQ(list->tasks[0].task, kBootTaskId);
+  EXPECT_EQ(list->tasks[0].epoch, 1u);
+  EXPECT_EQ(list->tasks[1].task, 7u);
+  EXPECT_EQ(list->tasks[1].epoch, 2u);
+  EXPECT_EQ(list->tasks[1].allowance_split.size(), 3u);
+
+  // The boot task alerts: 20 + 1 + 1 crosses its threshold of 10.
+  f0.send(LocalViolation{0, 5, 12.0, kBootTaskId});
+  auto poll = f0.await<PollRequest>();
+  EXPECT_EQ(poll.task, kBootTaskId);
+  f0.send(PollResponse{0, poll.poll_id, 5, 20.0, kBootTaskId});
+  poll = f1.await<PollRequest>();
+  f1.send(PollResponse{1, poll.poll_id, 5, 1.0, kBootTaskId});
+  poll = f2.await<PollRequest>();
+  f2.send(PollResponse{2, poll.poll_id, 5, 1.0, kBootTaskId});
+
+  // The new task alerts too: 20 + 20 + 5 crosses its threshold of 30.
+  f1.send(LocalViolation{1, 9, 15.0, 7});
+  poll = f1.await<PollRequest>();
+  EXPECT_EQ(poll.task, 7u);
+  f1.send(PollResponse{1, poll.poll_id, 9, 20.0, 7});
+  poll = f0.await<PollRequest>();
+  EXPECT_EQ(poll.task, 7u);
+  f0.send(PollResponse{0, poll.poll_id, 9, 20.0, 7});
+  poll = f2.await<PollRequest>();
+  f2.send(PollResponse{2, poll.poll_id, 9, 5.0, 7});
+
+  f0.send(Bye{0, 10, 1});
+  f1.send(Bye{1, 10, 1});
+  f2.send(Bye{2, 10, 1});
+  f0.await<Shutdown>();
+  f1.await<Shutdown>();
+  f2.await<Shutdown>();
+  coord_thread.join();
+
+  ASSERT_EQ(coordinator->alerts().size(), 2u);
+  EXPECT_EQ(coordinator->alerts()[0].task, kBootTaskId);
+  EXPECT_NEAR(coordinator->alerts()[0].value, 22.0, 1e-9);
+  EXPECT_EQ(coordinator->alerts()[1].task, 7u);
+  EXPECT_NEAR(coordinator->alerts()[1].value, 45.0, 1e-9);
+  EXPECT_EQ(coordinator->registry().version(), 2u);
+
+  // Kill the coordinator and start a successor on the same registry path:
+  // it must recover both tasks at their exact epochs from disk.
+  coordinator.reset();
+  net::CoordinatorNodeOptions ropt = copt;
+  ropt.port = 0;
+  ropt.global_threshold = 99.0;  // must NOT override the restored boot task
+  net::CoordinatorNode successor(ropt);
+  const auto& stats = successor.registry_load_stats();
+  EXPECT_TRUE(stats.had_snapshot || stats.journal_ops > 0);
+  EXPECT_TRUE(stats.journal_clean);
+  EXPECT_EQ(successor.registry().version(), 2u);
+  ASSERT_NE(successor.registry().find(kBootTaskId), nullptr);
+  EXPECT_EQ(successor.registry().find(kBootTaskId)->epoch, 1u);
+  EXPECT_DOUBLE_EQ(
+      successor.registry().find(kBootTaskId)->spec.global_threshold, 10.0);
+  ASSERT_NE(successor.registry().find(7), nullptr);
+  EXPECT_EQ(successor.registry().find(7)->epoch, 2u);
+  EXPECT_DOUBLE_EQ(successor.registry().find(7)->spec.global_threshold, 30.0);
+
+  // A third incarnation reads the compacted snapshot alone (the successor's
+  // load folded the journal into it) — still both tasks, same epochs.
+  net::CoordinatorNode third(ropt);
+  EXPECT_TRUE(third.registry_load_stats().had_snapshot);
+  EXPECT_EQ(third.registry_load_stats().snapshot_tasks, 2u);
+  EXPECT_EQ(third.registry_load_stats().journal_ops, 0u);
+  EXPECT_EQ(third.registry().version(), 2u);
+  ASSERT_NE(third.registry().find(7), nullptr);
+  EXPECT_EQ(third.registry().find(7)->epoch, 2u);
+}
+
+// RemoveTask retires a live task: the monitors get TaskDetach with the
+// removal epoch, the registry forgets the task, and a poll for it can no
+// longer happen (the next ListTasks shows only the boot task).
+TEST_F(NetControlTest, RemoveTaskDetachesMonitors) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 1;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.02;
+  copt.heartbeat_timeout_ms = 8000;
+  copt.staleness_bound_ms = 8000;
+  copt.idle_timeout_ms = 10000;
+  net::CoordinatorNode coordinator(copt);  // no registry path: memory only
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+
+  FakeMonitor f0(coordinator.port(), 0);
+  f0.await<net::TaskAttach>();  // boot task
+
+  const auto added = control_round_trip<net::ControlReply>(
+      coordinator.port(), net::AddTask{3, control_spec(5.0)});
+  ASSERT_TRUE(added.has_value());
+  EXPECT_EQ(added->epoch, 2u);
+  const auto attach = f0.await<net::TaskAttach>();
+  EXPECT_EQ(attach.task, 3u);
+
+  const auto removed = control_round_trip<net::ControlReply>(
+      coordinator.port(), net::RemoveTask{3});
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->status, control::ControlStatus::kOk);
+  EXPECT_EQ(removed->epoch, 3u);
+  const auto detach = f0.await<net::TaskDetach>();
+  EXPECT_EQ(detach.task, 3u);
+  EXPECT_EQ(detach.epoch, 3u);
+
+  // Mutations against the gone task now fail cleanly.
+  const auto again = control_round_trip<net::ControlReply>(
+      coordinator.port(), net::RemoveTask{3});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, control::ControlStatus::kNotFound);
+
+  const auto list = control_round_trip<net::TaskListReply>(coordinator.port(),
+                                                           net::ListTasks{});
+  ASSERT_TRUE(list.has_value());
+  ASSERT_EQ(list->tasks.size(), 1u);
+  EXPECT_EQ(list->tasks[0].task, kBootTaskId);
+  // boot add (1), task add (2), remove (3); the failed remove consumed
+  // no epoch, so the version stays at 3.
+  EXPECT_EQ(list->registry_version, 3u);
+
+  f0.send(Bye{0, 1, 0});
+  f0.await<Shutdown>();
+  coord_thread.join();
 }
 
 }  // namespace

@@ -187,7 +187,7 @@ TEST(Metrics, GlobalRegistryIsASingleton) {
 // TraceSink
 
 TEST(Trace, KindNamesRoundTrip) {
-  for (int k = 0; k <= 7; ++k) {
+  for (int k = 0; k <= 8; ++k) {
     const auto kind = static_cast<TraceKind>(k);
     const auto parsed = trace_kind_from_name(trace_kind_name(kind));
     ASSERT_TRUE(parsed.has_value());

@@ -193,5 +193,119 @@ TEST(RunCorrelatedGroup, RejectsMismatchedLengths) {
   EXPECT_THROW(run_correlated_group(tasks, {}, true), std::invalid_argument);
 }
 
+// --- dynamic task churn ---------------------------------------------------
+
+TEST(RunDynamicTasks, ChurnScoresEachInstanceOverItsWindow) {
+  // Two monitors, one violation window late in the run. Task 1 runs only
+  // the quiet first half; task 2 arrives mid-run and owns the episode.
+  constexpr Tick kTicks = 2000;
+  std::vector<TimeSeries> series{quiet_series(kTicks, 11),
+                                 quiet_series(kTicks, 12)};
+  for (Tick t = 1200; t < 1240; ++t) {
+    series[0][static_cast<std::size_t>(t)] = 10.0;
+    series[1][static_cast<std::size_t>(t)] = 10.0;
+  }
+
+  std::vector<TaskChurnEvent> events;
+  events.push_back({TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(5.0)});
+  events.push_back({TaskChurnEvent::Kind::kArrive, 500, 2, spec_for(8.0)});
+  events.push_back({TaskChurnEvent::Kind::kDepart, 1000, 1, {}});
+
+  const auto run = run_dynamic_tasks(series, events);
+  EXPECT_EQ(run.arrivals, 2);
+  EXPECT_EQ(run.departures, 1);
+  // Three mutations consumed three epochs (the departure counts too).
+  EXPECT_EQ(run.registry_version, 3u);
+  ASSERT_EQ(run.tasks.size(), 2u);
+
+  // Task 1 finalized at its departure: epoch 1, window [0, 1000) — all
+  // quiet, so no episodes in its score, and the sampler saved ops.
+  const auto& first = run.tasks[0];
+  EXPECT_EQ(first.task, 1u);
+  EXPECT_EQ(first.epoch, 1u);
+  EXPECT_EQ(first.arrived, 0);
+  EXPECT_EQ(first.departed, 1000);
+  EXPECT_EQ(first.result.true_episodes, 0);
+  EXPECT_GT(first.result.total_ops(), 0);
+  EXPECT_LT(first.result.total_ops(), 2 * 1000);
+
+  // Task 2 ran [500, 2000): it owns the violation window and must have
+  // detected the episode through its own global polls.
+  const auto& second = run.tasks[1];
+  EXPECT_EQ(second.task, 2u);
+  EXPECT_EQ(second.epoch, 2u);
+  EXPECT_EQ(second.arrived, 500);
+  EXPECT_EQ(second.departed, kTicks);
+  EXPECT_EQ(second.result.true_episodes, 1);
+  EXPECT_EQ(second.result.detected_episodes, 1);
+  EXPECT_GT(second.result.global_polls, 0);
+
+  EXPECT_EQ(run.total_ops(),
+            first.result.total_ops() + second.result.total_ops());
+}
+
+TEST(RunDynamicTasks, StandingTaskUnperturbedByChurnAroundIt) {
+  // A task that stands through heavy churn must score exactly like the same
+  // task in a churn-free run: per-task allocation isolates it (each task
+  // has its own allowance and sampler state).
+  constexpr Tick kTicks = 1500;
+  std::vector<TimeSeries> series{quiet_series(kTicks, 21),
+                                 quiet_series(kTicks, 22)};
+  for (Tick t = 700; t < 730; ++t) {
+    series[0][static_cast<std::size_t>(t)] = 8.0;
+    series[1][static_cast<std::size_t>(t)] = 8.0;
+  }
+
+  std::vector<TaskChurnEvent> standing_only;
+  standing_only.push_back(
+      {TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(6.0)});
+
+  std::vector<TaskChurnEvent> churny = standing_only;
+  churny.push_back({TaskChurnEvent::Kind::kArrive, 200, 2, spec_for(3.0)});
+  churny.push_back({TaskChurnEvent::Kind::kDepart, 400, 2, {}});
+  churny.push_back({TaskChurnEvent::Kind::kArrive, 600, 3, spec_for(9.0)});
+  churny.push_back({TaskChurnEvent::Kind::kDepart, 900, 3, {}});
+
+  const auto baseline = run_dynamic_tasks(series, standing_only);
+  const auto churned = run_dynamic_tasks(series, churny);
+  ASSERT_EQ(baseline.tasks.size(), 1u);
+  const auto* standing = &churned.tasks.back();  // finalized last (at end)
+  ASSERT_EQ(standing->task, 1u);
+  EXPECT_EQ(standing->result.total_ops(), baseline.tasks[0].result.total_ops());
+  EXPECT_EQ(standing->result.detected_episodes,
+            baseline.tasks[0].result.detected_episodes);
+  EXPECT_EQ(standing->result.global_polls, baseline.tasks[0].result.global_polls);
+  // The churn consumed extra epochs: 5 mutations versus 1.
+  EXPECT_EQ(churned.registry_version, 5u);
+  EXPECT_EQ(baseline.registry_version, 1u);
+}
+
+TEST(RunDynamicTasks, RejectsInvalidEventStreams) {
+  std::vector<TimeSeries> series{quiet_series(100, 31)};
+
+  // Duplicate arrival for a live id.
+  std::vector<TaskChurnEvent> dup;
+  dup.push_back({TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(5.0)});
+  dup.push_back({TaskChurnEvent::Kind::kArrive, 10, 1, spec_for(5.0)});
+  EXPECT_THROW(run_dynamic_tasks(series, dup), std::invalid_argument);
+
+  // Departure of a task that never arrived.
+  std::vector<TaskChurnEvent> ghost;
+  ghost.push_back({TaskChurnEvent::Kind::kDepart, 5, 9, {}});
+  EXPECT_THROW(run_dynamic_tasks(series, ghost), std::invalid_argument);
+
+  // Events out of tick order.
+  std::vector<TaskChurnEvent> unsorted;
+  unsorted.push_back({TaskChurnEvent::Kind::kArrive, 50, 1, spec_for(5.0)});
+  unsorted.push_back({TaskChurnEvent::Kind::kArrive, 10, 2, spec_for(5.0)});
+  EXPECT_THROW(run_dynamic_tasks(series, unsorted), std::invalid_argument);
+
+  // Series length mismatch.
+  std::vector<TimeSeries> uneven{quiet_series(100, 32), quiet_series(50, 33)};
+  std::vector<TaskChurnEvent> ok;
+  ok.push_back({TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(5.0)});
+  EXPECT_THROW(run_dynamic_tasks(uneven, ok), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace volley
