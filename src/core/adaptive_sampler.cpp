@@ -1,5 +1,7 @@
 #include "core/adaptive_sampler.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -15,7 +17,6 @@ struct SamplerMetrics {
   obs::Counter* observations;
   obs::Counter* resets;
   obs::Counter* growths;
-  obs::HistogramMetric* interval;
   obs::HistogramMetric* beta;
 
   static SamplerMetrics make(obs::MetricsRegistry& m) {
@@ -28,9 +29,6 @@ struct SamplerMetrics {
         &m.counter("volley_sampler_interval_growths_total",
                    "Additive increases: p consecutive safe checks grew the "
                    "interval by one Id"),
-        &m.histogram("volley_sampler_interval_ticks", 0.0, 64.0, 64,
-                     "Sampling interval chosen after each observation, in "
-                     "default intervals Id"),
         &m.histogram("volley_sampler_beta_bound", 0.0, 1.0, 20,
                      "Violation-likelihood bound beta_bound(I) at each "
                      "adaptation decision"),
@@ -39,6 +37,36 @@ struct SamplerMetrics {
 
   static const SamplerMetrics& get() { return obs::scoped_handles(&make); }
 };
+
+/// The chosen-interval histogram, with the upper bound derived from the
+/// first-registering sampler's Im instead of the former hard cap of 64
+/// (which silently funneled every interval of a large-Im configuration
+/// into the overflow bucket). The bound is Im+1 rounded up to a multiple
+/// of 64, one unit-width bin per interval (bins capped at 1024): rounding
+/// keeps every configuration with Im <= 63 on the exact legacy 0-64x64
+/// shape, so run-private registries with heterogeneous small Im stay
+/// merge-compatible with their parent (Histogram::merge requires matching
+/// shapes). Per MetricsRegistry semantics the shape is fixed by the first
+/// registration in each registry; later samplers with a larger Im in the
+/// same registry spill into overflow (visible in the snapshot's overflow
+/// count). Documented in DESIGN.md's metric catalog.
+obs::HistogramMetric& interval_histogram(Tick max_interval) {
+  thread_local std::uint64_t owner_uid = 0;  // no registry has uid 0
+  thread_local obs::HistogramMetric* handle = nullptr;
+  obs::MetricsRegistry& m = obs::metrics();
+  if (m.uid() != owner_uid) {
+    const Tick hi = (max_interval / 64 + 1) * 64;
+    const auto bins =
+        static_cast<std::size_t>(std::min<Tick>(hi, 1024));
+    handle = &m.histogram("volley_sampler_interval_ticks", 0.0,
+                          static_cast<double>(hi), bins,
+                          "Sampling interval chosen after each observation, "
+                          "in default intervals Id (upper bound derived "
+                          "from max_interval at first registration)");
+    owner_uid = m.uid();
+  }
+  return *handle;
+}
 
 }  // namespace
 
@@ -87,7 +115,8 @@ Tick AdaptiveSampler::observe(double value, Tick gap) {
     // Inside the slack band: acceptable, but growing would be risky.
     safe_streak_ = 0;
   }
-  om.interval->observe(static_cast<double>(interval_));
+  interval_histogram(options_.max_interval)
+      .observe(static_cast<double>(interval_));
   return interval_;
 }
 

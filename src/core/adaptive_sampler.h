@@ -67,6 +67,10 @@ class AdaptiveSampler {
   double threshold() const { return threshold_; }
   void set_threshold(double threshold) { threshold_ = threshold; }
 
+  /// Im: the hard cap on the sampling interval, in default intervals. The
+  /// coordinator's due-index sizes its bucket ring from this.
+  Tick max_interval() const { return options_.max_interval; }
+
   double error_allowance() const { return options_.error_allowance; }
   /// Used by the coordinator when reallocating the task-level allowance.
   void set_error_allowance(double err);

@@ -1,5 +1,8 @@
 #include "core/coordinator.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "obs/metrics.h"
@@ -36,6 +39,14 @@ struct CoordinatorMetrics {
   }
 };
 
+/// VOLLEY_SCAN_TICKS: set (and not "0") forces the legacy scan-all loop.
+bool scan_ticks_from_env() {
+  // Read once per Coordinator construction, before any monitor threads
+  // exist; nothing in-tree calls setenv concurrently.
+  const char* v = std::getenv("VOLLEY_SCAN_TICKS");  // NOLINT(concurrency-mt-unsafe)
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
 }  // namespace
 
 Coordinator::Coordinator(const TaskSpec& spec,
@@ -52,15 +63,94 @@ Coordinator::Coordinator(const TaskSpec& spec,
   allocation_.assign(monitors_.size(), share);
   for (auto& m : monitors_) m->set_error_allowance(share);
   next_update_ = spec_.updating_period;
+
+  scan_ticks_ = scan_ticks_from_env();
+  Tick max_interval = 1;
+  for (const auto& m : monitors_)
+    max_interval = std::max(max_interval, m->sampler().max_interval());
+  window_ = static_cast<std::size_t>(max_interval) + 2;
+  buckets_.resize(window_);
+  rebuild_due_index();
+}
+
+void Coordinator::set_scan_ticks(bool scan) {
+  if (scan == scan_ticks_) return;
+  scan_ticks_ = scan;
+  // Re-entering indexed mode: the ring is stale (scan mode doesn't maintain
+  // it), so re-derive it from the monitors' current schedules.
+  if (!scan) rebuild_due_index();
+}
+
+void Coordinator::due_index_insert(MonitorId id, Tick next) {
+  if (next < cursor_) next = cursor_;
+  // The ring slot is derived from the cached cursor slot instead of
+  // `next % window_`: window_ is not a compile-time constant, so a real
+  // division here costs more than scanning a handful of monitors would —
+  // small tasks in the event-driven fleet pay it on every sample.
+  auto offset = static_cast<std::size_t>(next - cursor_);
+  if (offset >= window_) offset %= window_;  // never taken by the invariant
+  std::size_t slot = cursor_slot_ + offset;
+  if (slot >= window_) slot -= window_;
+  buckets_[slot].push_back(id);
+}
+
+void Coordinator::rebuild_due_index() {
+  for (auto& bucket : buckets_) bucket.clear();
+  cursor_slot_ = static_cast<std::size_t>(cursor_) % window_;
+  for (MonitorId i = 0; i < monitors_.size(); ++i)
+    due_index_insert(i, monitors_[i]->next_sample_tick());
+}
+
+void Coordinator::collect_due(Tick t) {
+  due_scratch_.clear();
+  if (t < cursor_) return;  // a re-run tick never has anything pending
+  // Every pending entry lives within window_ ticks of cursor_, so a jump
+  // larger than the ring (a task's first tick at t >> 0) is covered by
+  // draining every bucket once.
+  const Tick jump = t - cursor_ + 1;
+  const auto window = static_cast<Tick>(window_);
+  const Tick span = jump > window ? window : jump;
+  auto slot = cursor_slot_;
+  for (Tick k = 0; k < span; ++k) {
+    auto& bucket = buckets_[slot];
+    if (!bucket.empty()) {
+      due_scratch_.insert(due_scratch_.end(), bucket.begin(), bucket.end());
+      bucket.clear();
+    }
+    if (++slot == window_) slot = 0;
+  }
+  cursor_ = t + 1;
+  // The loop's final slot is the new cursor's slot whenever the cursor
+  // advanced by exactly `span`; a jump past the ring (rare: first tick of
+  // a late-starting task) recomputes it.
+  cursor_slot_ = jump == span ? slot : static_cast<std::size_t>(cursor_) % window_;
+  // Buckets accumulate ids in insertion order across ticks; the legacy
+  // contract is ascending id order among same-tick monitors.
+  if (due_scratch_.size() > 1)
+    std::sort(due_scratch_.begin(), due_scratch_.end());
 }
 
 Coordinator::TickResult Coordinator::run_tick(Tick t) {
   TickResult result;
-  for (auto& m : monitors_) {
-    if (!m->due(t)) continue;
-    const auto outcome = m->step(t);
-    result.any_due = true;
-    if (outcome.local_violation) ++result.local_violations;
+  if (scan_ticks_) {
+    // Legacy path: scan every monitor. Kept verbatim as the identity
+    // baseline (VOLLEY_SCAN_TICKS, identity tests, bench_scale).
+    for (auto& m : monitors_) {
+      if (!m->due(t)) continue;
+      const auto outcome = m->step(t);
+      result.any_due = true;
+      if (outcome.local_violation) ++result.local_violations;
+    }
+    if (t >= cursor_) cursor_ = t + 1;
+  } else {
+    collect_due(t);
+    for (const MonitorId id : due_scratch_) {
+      Monitor& m = *monitors_[id];
+      const auto outcome = m.step(t);
+      result.any_due = true;
+      if (outcome.local_violation) ++result.local_violations;
+      due_index_insert(id, m.next_sample_tick());
+    }
   }
 
   if (result.local_violations > 0) {
@@ -79,9 +169,14 @@ Coordinator::TickResult Coordinator::run_tick(Tick t) {
     if (result.global_violation) {
       ++global_violations_;
       CoordinatorMetrics::get().alerts->inc();
-      obs::trace().record(obs::TraceKind::kAlertRaised, t, 0, sum,
-                          spec_.global_threshold);
+      if (obs::trace_enabled()) {
+        obs::trace().record(obs::TraceKind::kAlertRaised, t, 0, sum,
+                            spec_.global_threshold);
+      }
     }
+    // The poll rescheduled every monitor that wasn't already sampled at t,
+    // invalidating their ring entries wholesale; re-derive the index.
+    if (!scan_ticks_) rebuild_due_index();
   }
 
   maybe_reallocate(t);

@@ -48,8 +48,19 @@ class Coordinator {
               std::vector<std::unique_ptr<Monitor>> monitors,
               std::unique_ptr<AllowanceAllocator> allocator);
 
-  /// Advances the task by one tick.
+  /// Advances the task by one tick. Touches only the monitors due at `t`
+  /// (see the due-index notes below); the result and every observable side
+  /// effect are bit-identical to scanning all monitors in id order.
   TickResult run_tick(Tick t);
+
+  /// Escape hatch: when true, run_tick scans every monitor calling due(t)
+  /// — the legacy O(monitors) loop — instead of consulting the due index.
+  /// Initialized from the VOLLEY_SCAN_TICKS environment variable (set and
+  /// not "0"); the identity tests and bench_scale flip it per run to prove
+  /// both paths agree. Switching scanning back off rebuilds the index from
+  /// the monitors' current schedules.
+  void set_scan_ticks(bool scan);
+  bool scan_ticks() const { return scan_ticks_; }
 
   const TaskSpec& spec() const { return spec_; }
   std::size_t monitor_count() const { return monitors_.size(); }
@@ -71,11 +82,45 @@ class Coordinator {
  private:
   void maybe_reallocate(Tick t);
 
+  // --- due index ------------------------------------------------------
+  //
+  // A calendar (bucket-ring) queue over the monitors' next-sample ticks,
+  // so a tick where nothing is due costs O(1) instead of O(monitors) —
+  // the in-process mirror of why adaptive sampling exists at all.
+  //
+  // Invariants (when scan_ticks_ is false):
+  //  * cursor_ is the next tick run_tick will consume; every monitor's
+  //    pending entry lives at a tick in [cursor_, cursor_ + window_ - 1],
+  //    which is why window_ = max Im + 2 buckets suffice: a sample at t
+  //    reschedules to at most t + Im < (t + 1) + window_ - 1.
+  //  * each monitor has exactly one entry, at max(next_sample, cursor_)
+  //    (the clamp lets a freshly built index catch up when the first
+  //    run_tick happens at t > 0, e.g. tasks arriving mid-run).
+  //  * same-tick monitors run in ascending id order — collect_due sorts
+  //    the drained ids — so results are bit-identical to the legacy scan.
+  //  * a global poll force-samples every monitor, invalidating most
+  //    entries at once; rebuild_due_index() re-derives the ring in O(n),
+  //    the same order as the poll itself.
+  //
+  // The coordinator owns its monitors' schedules: force-sampling a monitor
+  // behind the coordinator's back would leave the index stale (nothing
+  // in-tree does; use run_tick / the coordinator's own poll).
+  void collect_due(Tick t);                        // fills due_scratch_
+  void due_index_insert(MonitorId id, Tick next);  // clamps next to cursor_
+  void rebuild_due_index();
+
   TaskSpec spec_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
   std::unique_ptr<AllowanceAllocator> allocator_;
   std::vector<double> allocation_;
   Tick next_update_{0};
+
+  bool scan_ticks_{false};
+  Tick cursor_{0};
+  std::size_t cursor_slot_{0};                    // cursor_ % window_, cached
+  std::size_t window_{0};                         // bucket count (max Im + 2)
+  std::vector<std::vector<MonitorId>> buckets_;   // ring keyed tick % window_
+  std::vector<MonitorId> due_scratch_;            // ids due this tick, sorted
 
   std::int64_t global_polls_{0};
   std::int64_t global_violations_{0};

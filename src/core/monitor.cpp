@@ -74,10 +74,12 @@ Monitor::Outcome Monitor::sample_at(Tick t, SampleReason reason) {
     ++forced_ops_;
     om.forced->inc();
   }
-  obs::trace().record(obs::TraceKind::kSampleTaken, t, id_, value,
-                      reason == SampleReason::kScheduled ? 0.0 : 1.0);
-  obs::trace().record(obs::TraceKind::kIntervalChosen, t, id_,
-                      static_cast<double>(interval), sampler_.last_beta());
+  if (obs::trace_enabled()) {
+    obs::trace().record(obs::TraceKind::kSampleTaken, t, id_, value,
+                        reason == SampleReason::kScheduled ? 0.0 : 1.0);
+    obs::trace().record(obs::TraceKind::kIntervalChosen, t, id_,
+                        static_cast<double>(interval), sampler_.last_beta());
+  }
   return out;
 }
 

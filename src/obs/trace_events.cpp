@@ -187,21 +187,16 @@ TraceSink& global_trace() {
   return sink;
 }
 
-namespace {
-/// The calling thread's current-sink binding (null = global).
-thread_local TraceSink* tls_current_sink = nullptr;
-}  // namespace
-
 TraceSink& trace() {
-  TraceSink* current = tls_current_sink;
+  TraceSink* current = detail::tls_trace_sink;
   return current ? *current : global_trace();
 }
 
 ScopedTraceSink::ScopedTraceSink(TraceSink& sink)
-    : previous_(tls_current_sink) {
-  tls_current_sink = &sink;
+    : previous_(detail::tls_trace_sink) {
+  detail::tls_trace_sink = &sink;
 }
 
-ScopedTraceSink::~ScopedTraceSink() { tls_current_sink = previous_; }
+ScopedTraceSink::~ScopedTraceSink() { detail::tls_trace_sink = previous_; }
 
 }  // namespace volley::obs

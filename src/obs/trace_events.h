@@ -41,6 +41,7 @@
 // round-trips the format for offline tooling and tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -122,10 +123,40 @@ class TraceSink {
 /// The process-global sink (the default binding of `trace()`).
 TraceSink& global_trace();
 
+namespace detail {
+/// The calling thread's current-sink binding (null = global). Header-inline
+/// so `trace_enabled()` compiles to a TLS load + branch at every call site.
+inline thread_local TraceSink* tls_trace_sink = nullptr;
+/// Whether instrumentation records into the *global* sink when no scoped
+/// sink is bound. Defaults to on (the seed behavior).
+inline std::atomic<bool> global_trace_enabled{true};
+}  // namespace detail
+
 /// The calling thread's current sink: the innermost active ScopedTraceSink
 /// on this thread, or the process-global sink when none is active. All
 /// built-in instrumentation records through this.
 TraceSink& trace();
+
+/// Hot-path gate for instrumentation sites: false only when the thread has
+/// no scoped sink *and* global tracing is switched off. Per-sample sites
+/// (Monitor::sample_at, Coordinator polls) wrap their `trace().record(...)`
+/// in this so a disabled trace plane costs one TLS load and one relaxed
+/// atomic load — a branch, not a mutex — per sample. Sites that fire rarely
+/// (reallocation, liveness transitions) may skip the gate; they still
+/// record into the global sink when enabled.
+inline bool trace_enabled() {
+  return detail::tls_trace_sink != nullptr ||
+         detail::global_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording into the *global* sink on or off (default on). Scoped
+/// sinks are unaffected: a run under ScopedTraceSink is always traced —
+/// sweep workers and the wire runtime rely on that. Benchmarks switch the
+/// global sink off while timing so per-sample tracing doesn't mask the
+/// hot-path win being measured.
+inline void set_global_trace_enabled(bool enabled) {
+  detail::global_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
 
 /// RAII rebinding of `trace()` for the calling thread, mirroring
 /// obs::ScopedMetricsRegistry: parallel sweep workers give each run a

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/adaptive_sampler.h"
+#include "obs/metrics.h"
 
 namespace volley {
 namespace {
@@ -196,6 +197,49 @@ TEST(AdaptiveSampler, StreakBrokenByBandEntry) {
   sampler.observe(99.0, 1);
   EXPECT_EQ(sampler.safe_streak(), 0);
   (void)streak_before;
+}
+
+TEST(AdaptiveSampler, ExposesMaxInterval) {
+  auto options = quiet_options();
+  options.max_interval = 23;
+  AdaptiveSampler sampler(options, 100.0);
+  EXPECT_EQ(sampler.max_interval(), 23);
+}
+
+TEST(AdaptiveSampler, IntervalHistogramBoundTracksMaxInterval) {
+  // Regression: volley_sampler_interval_ticks was hard-capped at 64, so a
+  // configuration with Im > 64 funneled every chosen interval into the
+  // overflow bucket. The bound is now derived from Im at first registration
+  // (rounded up to a multiple of 64 so small-Im runs keep the legacy shape
+  // and stay merge-compatible).
+  {
+    obs::MetricsRegistry registry;
+    obs::ScopedMetricsRegistry scope(registry);
+    auto options = quiet_options();
+    options.max_interval = 100;
+    AdaptiveSampler sampler(options, 1000.0);
+    for (int i = 0; i < 5; ++i) sampler.observe(1.0, 1);
+    const auto snap =
+        registry.histogram("volley_sampler_interval_ticks", 0.0, 1.0, 1)
+            .snapshot();
+    // Im = 100 -> bound 128 with unit-width bins; interval 100 is in range.
+    EXPECT_EQ(snap.bins(), 128u);
+    EXPECT_DOUBLE_EQ(snap.bin_hi(snap.bins() - 1), 128.0);
+    EXPECT_EQ(snap.overflow(), 0);
+    EXPECT_EQ(snap.count(), 5);
+  }
+  {
+    // Im <= 63 keeps the legacy 0-64x64 shape exactly.
+    obs::MetricsRegistry registry;
+    obs::ScopedMetricsRegistry scope(registry);
+    AdaptiveSampler sampler(quiet_options(), 1000.0);  // Im = 10
+    sampler.observe(1.0, 1);
+    const auto snap =
+        registry.histogram("volley_sampler_interval_ticks", 0.0, 1.0, 1)
+            .snapshot();
+    EXPECT_EQ(snap.bins(), 64u);
+    EXPECT_DOUBLE_EQ(snap.bin_hi(snap.bins() - 1), 64.0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+// Scan-vs-index identity: Coordinator::run_tick must produce bit-identical
+// results whether it scans every monitor per tick (the legacy loop, kept
+// behind the VOLLEY_SCAN_TICKS escape hatch) or consults the due index.
+// Mirrors the serial-vs-parallel identity suite from the sweep engine: the
+// figure configurations (quick sizes) run through both paths and every
+// RunResult field — including the byte-exact metrics_json snapshot and the
+// per-monitor op schedules — must agree.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/coordinator.h"
+#include "core/error_allocation.h"
+#include "sim/runner.h"
+#include "tasks/network_task.h"
+#include "trace/trace.h"
+
+namespace volley {
+namespace {
+
+/// RAII guard for the VOLLEY_SCAN_TICKS escape hatch (read at Coordinator
+/// construction). Restores the prior state on destruction.
+class ScanTicksEnv {
+ public:
+  explicit ScanTicksEnv(bool scan) {
+    const char* prior = std::getenv("VOLLEY_SCAN_TICKS");
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    set(scan);
+  }
+  ~ScanTicksEnv() {
+    if (had_prior_) {
+      ::setenv("VOLLEY_SCAN_TICKS", prior_.c_str(), 1);
+    } else {
+      ::unsetenv("VOLLEY_SCAN_TICKS");
+    }
+  }
+  ScanTicksEnv(const ScanTicksEnv&) = delete;
+  ScanTicksEnv& operator=(const ScanTicksEnv&) = delete;
+
+ private:
+  static void set(bool scan) {
+    if (scan) {
+      ::setenv("VOLLEY_SCAN_TICKS", "1", 1);
+    } else {
+      ::unsetenv("VOLLEY_SCAN_TICKS");
+    }
+  }
+
+  bool had_prior_{false};
+  std::string prior_;
+};
+
+void expect_identical(const RunResult& scan, const RunResult& indexed) {
+  EXPECT_EQ(scan.ticks, indexed.ticks);
+  EXPECT_EQ(scan.monitors, indexed.monitors);
+  EXPECT_EQ(scan.scheduled_ops, indexed.scheduled_ops);
+  EXPECT_EQ(scan.forced_ops, indexed.forced_ops);
+  EXPECT_EQ(scan.total_cost, indexed.total_cost);  // bit-exact, same op set
+  EXPECT_EQ(scan.true_alert_ticks, indexed.true_alert_ticks);
+  EXPECT_EQ(scan.detected_alert_ticks, indexed.detected_alert_ticks);
+  EXPECT_EQ(scan.true_episodes, indexed.true_episodes);
+  EXPECT_EQ(scan.detected_episodes, indexed.detected_episodes);
+  EXPECT_EQ(scan.local_violations, indexed.local_violations);
+  EXPECT_EQ(scan.global_polls, indexed.global_polls);
+  EXPECT_EQ(scan.reallocations, indexed.reallocations);
+  EXPECT_EQ(scan.op_ticks, indexed.op_ticks);
+  EXPECT_EQ(scan.interval_trajectory, indexed.interval_trajectory);
+  EXPECT_EQ(scan.metrics_json, indexed.metrics_json);
+}
+
+RunResult run_with(bool scan, const TaskSpec& spec, const TimeSeries& series,
+                   const GroundTruth& truth, const RunOptions& options) {
+  ScanTicksEnv env(scan);
+  return run_volley_single(spec, series, truth, options);
+}
+
+// --- figure configurations, quick sizes -------------------------------
+
+std::vector<NetworkTask> fig5_style_tasks(double selectivity, double err) {
+  NetworkWorkloadOptions options;
+  options.netflow.vms = 4;
+  options.netflow.ticks = 2880;  // half a day at 15 s
+  options.netflow.ticks_per_day = 5760;
+  options.netflow.diurnal_phase = 1440;
+  options.netflow.diurnal_depth = 0.96;
+  options.netflow.mean_flows_per_tick = 10.0;
+  options.netflow.off_rate = 1.0 / 1200.0;
+  options.netflow.on_rate = 1.0 / 1200.0;
+  options.netflow.off_floor = 0.005;
+  options.netflow.seed = 91;
+  options.attack_prototype.peak_syn_rate = 2500.0;
+  options.attack_prototype.ramp = 8;
+  options.attack_prototype.plateau = 24;
+  options.attack_prototype.decay = 8;
+  options.attacks_per_vm = 2;
+  options.seed = 93;
+  NetworkWorkload workload(options);
+
+  std::vector<NetworkTask> tasks;
+  for (auto& vm : workload.generate_traffic()) {
+    auto task = NetworkWorkload::make_task(std::move(vm), selectivity, err);
+    task.spec.max_interval = 40;
+    task.spec.estimator.stats_window = 240;
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+class Fig5Identity : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig5Identity, ScanAndIndexAgreeByteForByte) {
+  const double selectivity = GetParam();
+  RunOptions options;
+  options.record_ops = true;
+  options.record_intervals = true;
+  for (const auto& task : fig5_style_tasks(selectivity, 0.008)) {
+    const GroundTruth truth =
+        GroundTruth::from_series(task.traffic.rho, task.threshold);
+    const auto scan = run_with(true, task.spec, task.traffic.rho, truth,
+                               options);
+    const auto indexed = run_with(false, task.spec, task.traffic.rho, truth,
+                                  options);
+    expect_identical(scan, indexed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, Fig5Identity,
+                         ::testing::Values(0.4, 3.2));
+
+TEST(Fig6Identity, CpuWorkloadAgreesAcrossAllowances) {
+  // Figure 6's recipe at quick size: busier traffic (higher flow volume,
+  // shallower diurnal swing), k = 1, sweeping the error allowance.
+  NetworkWorkloadOptions options;
+  options.netflow.vms = 4;
+  options.netflow.ticks = 1440;
+  options.netflow.ticks_per_day = 5760;
+  options.netflow.diurnal_phase = 720;
+  options.netflow.diurnal_depth = 0.5;
+  options.netflow.mean_flows_per_tick = 290.0;
+  options.netflow.seed = 121;
+  options.attack_prototype.peak_syn_rate = 20000.0;
+  options.attacks_per_vm = 1;
+  options.poisson_attack_counts = false;
+  options.seed = 123;
+  NetworkWorkload workload(options);
+  const auto traffic = workload.generate_traffic();
+
+  RunOptions run_options;
+  run_options.record_ops = true;
+  for (double err : {0.008, 0.032}) {
+    for (const auto& vm : traffic) {
+      VmTraffic copy;
+      copy.rho = vm.rho;
+      copy.in_packets = vm.in_packets;
+      auto task = NetworkWorkload::make_task(std::move(copy), 1.0, err);
+      task.spec.max_interval = 40;
+      task.spec.estimator.stats_window = 240;
+      const GroundTruth truth =
+          GroundTruth::from_series(vm.rho, task.threshold);
+      const auto scan =
+          run_with(true, task.spec, vm.rho, truth, run_options);
+      const auto indexed =
+          run_with(false, task.spec, vm.rho, truth, run_options);
+      expect_identical(scan, indexed);
+    }
+  }
+}
+
+TEST(DistributedIdentity, PollsAndReallocationsAgree) {
+  // A multi-monitor task busy enough to exercise every index-maintenance
+  // path: scheduled steps, cached and forced poll samples, and allowance
+  // reallocation rounds.
+  Rng rng(4242);
+  const Tick ticks = 6000;
+  std::vector<TimeSeries> series;
+  for (int m = 0; m < 5; ++m) {
+    TimeSeries s(static_cast<std::size_t>(ticks));
+    double x = 0.0;
+    for (Tick t = 0; t < ticks; ++t) {
+      x = 0.9 * x + rng.normal(0.0, 0.3);
+      s[static_cast<std::size_t>(t)] = x;
+    }
+    series.push_back(std::move(s));
+  }
+  TaskSpec spec;
+  spec.global_threshold =
+      TimeSeries::sum(series).threshold_for_selectivity(2.0);
+  spec.error_allowance = 0.02;
+  spec.max_interval = 12;
+  spec.updating_period = 500;
+  const auto locals = split_threshold(spec.global_threshold, series.size());
+
+  RunOptions options;
+  options.record_ops = true;
+  RunResult scan, indexed;
+  {
+    ScanTicksEnv env(true);
+    scan = run_volley(spec, series, locals, options);
+  }
+  {
+    ScanTicksEnv env(false);
+    indexed = run_volley(spec, series, locals, options);
+  }
+  ASSERT_GT(scan.global_polls, 0);
+  ASSERT_GT(scan.reallocations, 0);
+  expect_identical(scan, indexed);
+}
+
+// --- direct Coordinator exercises -------------------------------------
+
+std::unique_ptr<Coordinator> make_coordinator(
+    const std::vector<TimeSeries>& series, const TaskSpec& spec,
+    std::vector<std::unique_ptr<SeriesSource>>& sources) {
+  const auto locals = split_threshold(spec.global_threshold, series.size());
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sources.push_back(std::make_unique<SeriesSource>(series[i]));
+    monitors.push_back(std::make_unique<Monitor>(
+        static_cast<MonitorId>(i), *sources[i],
+        spec.sampler_options(spec.error_allowance / series.size()),
+        locals[i]));
+  }
+  return std::make_unique<Coordinator>(spec, std::move(monitors),
+                                       std::make_unique<AdaptiveAllocation>());
+}
+
+std::vector<TimeSeries> walk_series(int monitors, Tick ticks,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimeSeries> series;
+  for (int m = 0; m < monitors; ++m) {
+    TimeSeries s(static_cast<std::size_t>(ticks));
+    double x = 0.0;
+    for (Tick t = 0; t < ticks; ++t) {
+      x = 0.85 * x + rng.normal(0.0, 0.4);
+      s[static_cast<std::size_t>(t)] = x;
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+TEST(DueIndex, FirstTickAfterZeroCatchesUp) {
+  // run_dynamic_tasks creates a task mid-run and immediately calls
+  // run_tick(arrival) with every monitor still scheduled at tick 0: the
+  // due index must catch up over the jump exactly like the scan loop.
+  const Tick ticks = 2000;
+  const auto series = walk_series(3, ticks, 77);
+  TaskSpec spec;
+  spec.global_threshold =
+      TimeSeries::sum(series).threshold_for_selectivity(2.0);
+  spec.error_allowance = 0.02;
+  spec.max_interval = 10;
+  spec.updating_period = 400;
+
+  for (Tick start : {Tick{1}, Tick{7}, Tick{137}, Tick{500}}) {
+    std::vector<std::unique_ptr<SeriesSource>> sources_a, sources_b;
+    auto scan = make_coordinator(series, spec, sources_a);
+    scan->set_scan_ticks(true);
+    auto indexed = make_coordinator(series, spec, sources_b);
+    indexed->set_scan_ticks(false);
+    for (Tick t = start; t < ticks; ++t) {
+      const auto a = scan->run_tick(t);
+      const auto b = indexed->run_tick(t);
+      ASSERT_EQ(a.any_due, b.any_due) << "start=" << start << " t=" << t;
+      ASSERT_EQ(a.local_violations, b.local_violations);
+      ASSERT_EQ(a.global_poll, b.global_poll);
+      ASSERT_EQ(a.global_value, b.global_value);
+      ASSERT_EQ(a.global_violation, b.global_violation);
+    }
+    EXPECT_EQ(scan->total_ops(), indexed->total_ops());
+    EXPECT_EQ(scan->global_polls(), indexed->global_polls());
+    EXPECT_EQ(scan->reallocations(), indexed->reallocations());
+    EXPECT_EQ(scan->allocation(), indexed->allocation());
+  }
+}
+
+TEST(DueIndex, ScanToggleMidRunAgrees) {
+  // Flipping the escape hatch mid-run rebuilds the index from the
+  // monitors' live schedules; accounting must track an always-scan twin.
+  const Tick ticks = 3000;
+  const auto series = walk_series(4, ticks, 99);
+  TaskSpec spec;
+  spec.global_threshold =
+      TimeSeries::sum(series).threshold_for_selectivity(1.0);
+  spec.error_allowance = 0.03;
+  spec.max_interval = 8;
+  spec.updating_period = 300;
+
+  std::vector<std::unique_ptr<SeriesSource>> sources_a, sources_b;
+  auto always_scan = make_coordinator(series, spec, sources_a);
+  always_scan->set_scan_ticks(true);
+  auto toggled = make_coordinator(series, spec, sources_b);
+  toggled->set_scan_ticks(false);
+
+  for (Tick t = 0; t < ticks; ++t) {
+    if (t == ticks / 3) toggled->set_scan_ticks(true);
+    if (t == 2 * ticks / 3) toggled->set_scan_ticks(false);
+    const auto a = always_scan->run_tick(t);
+    const auto b = toggled->run_tick(t);
+    ASSERT_EQ(a.any_due, b.any_due) << "t=" << t;
+    ASSERT_EQ(a.local_violations, b.local_violations) << "t=" << t;
+    ASSERT_EQ(a.global_value, b.global_value) << "t=" << t;
+  }
+  EXPECT_EQ(always_scan->total_ops(), toggled->total_ops());
+  EXPECT_EQ(always_scan->global_polls(), toggled->global_polls());
+}
+
+TEST(DueIndex, EnvVariableSelectsPath) {
+  const auto series = walk_series(1, 100, 5);
+  TaskSpec spec;
+  spec.global_threshold = 1e9;  // quiet: no polls needed here
+  spec.error_allowance = 0.01;
+  {
+    ScanTicksEnv env(true);
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    EXPECT_TRUE(make_coordinator(series, spec, sources)->scan_ticks());
+  }
+  {
+    ScanTicksEnv env(false);
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    EXPECT_FALSE(make_coordinator(series, spec, sources)->scan_ticks());
+  }
+  {
+    // "0" means off, matching the bench conventions.
+    ::setenv("VOLLEY_SCAN_TICKS", "0", 1);
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    EXPECT_FALSE(make_coordinator(series, spec, sources)->scan_ticks());
+    ::unsetenv("VOLLEY_SCAN_TICKS");
+  }
+}
+
+}  // namespace
+}  // namespace volley

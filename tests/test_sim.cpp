@@ -99,6 +99,125 @@ TEST(EventQueue, StepRunsExactlyOne) {
   EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueue, CancelHeavyHeapStaysBounded) {
+  // Regression: cancel used to leave dead events (and their captured
+  // closures) in the heap until their position was popped. Compaction must
+  // keep the record count within a small factor of the live count, and a
+  // cancelled callback's captures must be freed at cancel time.
+  EventQueue q;
+  auto witness = std::make_shared<int>(0);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    ids.push_back(
+        q.schedule_at(static_cast<double>(i % 997), [witness] { ++*witness; }));
+  }
+  EXPECT_EQ(q.pending(), 100000u);
+  EXPECT_EQ(witness.use_count(), 100001);
+  for (const auto id : ids) q.cancel(id);
+  EXPECT_EQ(q.pending(), 0u);
+  // All 100k closures destroyed eagerly, not deferred to pop time.
+  EXPECT_EQ(witness.use_count(), 1);
+  // Compaction bound: dead records never exceed half the heap, so an empty
+  // queue holds at most one straggler.
+  EXPECT_LE(q.heap_records(), 1u);
+  q.run_until(1000.0);
+  EXPECT_EQ(*witness, 0);
+}
+
+TEST(EventQueue, InterleavedCancelKeepsHeapBounded) {
+  // Steady-state schedule/cancel churn (a fault plan arming and disarming
+  // timeouts): the heap must stay within 2x the live population + 1.
+  EventQueue q;
+  std::vector<std::uint64_t> live;
+  int ran = 0;
+  for (int round = 0; round < 2000; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      live.push_back(
+          q.schedule_after(1.0 + (round * 50 + i) % 13, [&] { ++ran; }));
+    }
+    // Cancel all but one per round.
+    for (std::size_t i = live.size() - 50; i < live.size() - 1; ++i) {
+      q.cancel(live[i]);
+    }
+    live.erase(live.end() - 50, live.end() - 1);
+    ASSERT_LE(q.heap_records(), 2 * q.pending() + 1) << "round " << round;
+  }
+  EXPECT_EQ(q.pending(), 2000u);
+  q.run_until(1e9);
+  EXPECT_EQ(ran, 2000);
+}
+
+TEST(EventQueue, StaleIdNeverTouchesRecycledSlot) {
+  // Ids are generation-checked: once an event runs, its id is dead forever,
+  // even after the slot is reused by a newer event.
+  EventQueue q;
+  int first = 0, second = 0;
+  const auto stale = q.schedule_at(1.0, [&] { ++first; });
+  q.run_until(1.0);
+  EXPECT_EQ(first, 1);
+  // The freed slot is recycled by the next schedule.
+  q.schedule_at(2.0, [&] { ++second; });
+  q.cancel(stale);  // must NOT cancel the new occupant
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(3.0);
+  EXPECT_EQ(second, 1);
+  // Double-cancel of a live id is also single-shot.
+  int third = 0;
+  const auto id = q.schedule_at(4.0, [&] { ++third; });
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, SmallCapturesStayInline) {
+  // The capture shapes the simulator actually schedules (a this-pointer, a
+  // reference, a double) must take the no-allocation inline path; outsized
+  // captures spill to the heap and still run correctly.
+  struct Small {
+    void* a;
+    void* b;
+    double c;
+    void operator()() const {}
+  };
+  EventQueue::Callback small(Small{nullptr, nullptr, 1.0});
+  EXPECT_FALSE(small.on_heap());
+
+  struct Big {
+    double payload[16];
+    int* counter;
+    void operator()() const { ++*counter; }
+  };
+  static_assert(sizeof(Big) > EventQueue::Callback::kInlineCapacity);
+  int ran = 0;
+  EventQueue q;
+  Big big{};
+  big.counter = &ran;
+  EventQueue::Callback cb(big);
+  EXPECT_TRUE(cb.on_heap());
+  q.schedule_at(1.0, std::move(cb));
+  q.run_until(1.0);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, TieBreakSurvivesCancelCompaction) {
+  // Cancelling enough events to trigger compaction must not disturb the
+  // (when, seq) order of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule_at(5.0, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 3 != 0) q.cancel(ids[static_cast<std::size_t>(i)]);
+  }
+  q.run_until(5.0);
+  std::vector<int> expected;
+  for (int i = 0; i < 1000; i += 3) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
 TEST(CostModel, OpCostIsAffineInPackets) {
   CostModelOptions o;
   o.fixed_cost_seconds = 0.02;
