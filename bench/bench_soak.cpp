@@ -1,0 +1,110 @@
+// Robustness — scenario-engine soak throughput and replay cost.
+// The scenario engine (src/scenario) turns a JSON document into a composed
+// workload, a fault schedule, and control-plane churn; the soak runner
+// executes it and judges per-phase invariants. This bench measures what
+// that machinery costs: ticks/sec of the sim-mode soak loop across run
+// lengths and monitor counts, and the price of the byte-identical replay
+// check (a second full run plus report comparison) that the CI smoke job
+// and `volley_soak replay_check=1` pay.
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "scenario/scenario.h"
+#include "scenario/soak.h"
+
+namespace volley::scenario {
+namespace {
+
+// A fault-storm-shaped scenario embedded inline so the bench has no file
+// dependencies; ticks are patched per measurement point.
+constexpr const char* kScenarioTemplate = R"({
+  "name": "bench-soak", "seed": 11, "monitors": %zu, "ticks": %lld,
+  "task": {"threshold_selectivity": 5.0, "error_allowance": 0.02,
+           "max_interval": 16, "updating_period": 500},
+  "workload": {
+    "base": {"mean": 0.5, "theta": 0.05, "sigma": 0.05, "lo": 0.0, "hi": 2.0},
+    "layers": [
+      {"kind": "diurnal", "period": 2000, "depth": 0.5},
+      {"kind": "burst", "mean_gap": 700, "ramp": 12, "plateau": 24,
+       "decay": 18, "peak_lo": 0.5, "peak_hi": 1.0, "scale": 1.5}
+    ]
+  },
+  "faults": [
+    {"profile": "flaky-link", "start": 1000, "end": 2000},
+    {"profile": "slow-drip", "start": 2500, "end": 3500}
+  ],
+  "churn": {"random": {"arrivals": 3, "hold_min": 400, "hold_max": 1200,
+                       "first_task": 100}}
+})";
+
+Scenario make_scenario(std::size_t monitors, Tick ticks) {
+  char buf[2048];
+  std::snprintf(buf, sizeof(buf), kScenarioTemplate, monitors,
+                static_cast<long long>(ticks));
+  return Scenario::from_json_text(buf);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void run() {
+  const bool quick = std::getenv("VOLLEY_BENCH_QUICK") != nullptr;
+
+  bench::print_header(
+      "Scenario soak — sim loop throughput and replay cost",
+      "harness overhead only (no paper figure): soak ticks/sec should stay "
+      "within ~2x of the plain fault-sim loop; replay doubles the cost");
+
+  bench::print_row(
+      {"monitors x ticks", "run ms", "Mticks/s", "replay ms", "identical"});
+
+  struct Point {
+    std::size_t monitors;
+    Tick ticks;
+  };
+  std::vector<Point> grid{{4, 20000}, {8, 20000}, {16, 20000}, {8, 80000}};
+  if (quick) grid = {{4, 4000}, {8, 4000}};
+
+  for (const auto& point : grid) {
+    const Scenario scenario = make_scenario(point.monitors, point.ticks);
+
+    auto start = std::chrono::steady_clock::now();
+    const SoakReport first = run_scenario_sim(scenario, {});
+    const double run_s = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const SoakReport second = run_scenario_sim(scenario, {});
+    const bool identical = first.to_json() == second.to_json();
+    const double replay_s = seconds_since(start);
+    if (!identical) {
+      throw std::runtime_error("soak replay diverged for seed " +
+                               std::to_string(scenario.seed));
+    }
+
+    const double monitor_ticks =
+        static_cast<double>(point.monitors) *
+        static_cast<double>(point.ticks);
+    bench::print_row(
+        {std::to_string(point.monitors) + " x " +
+             std::to_string(point.ticks),
+         bench::fmt(1e3 * run_s, 1), bench::fmt(monitor_ticks / run_s / 1e6, 2),
+         bench::fmt(1e3 * replay_s, 1), identical ? "yes" : "NO"});
+  }
+
+  std::printf("\nreplay check: every row re-ran its scenario and compared "
+              "SoakReport::to_json byte-for-byte.\n");
+}
+
+}  // namespace
+}  // namespace volley::scenario
+
+int main() {
+  volley::scenario::run();
+  return 0;
+}

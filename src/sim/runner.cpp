@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/rng.h"
 #include "control/task_registry.h"
 #include "obs/metrics.h"
 
@@ -322,8 +323,53 @@ std::int64_t DynamicRunResult::total_ops() const {
   return ops;
 }
 
+std::vector<TaskChurnEvent> canonical_churn_order(
+    std::vector<TaskChurnEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const TaskChurnEvent& a, const TaskChurnEvent& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              const bool a_depart = a.kind == TaskChurnEvent::Kind::kDepart;
+              const bool b_depart = b.kind == TaskChurnEvent::Kind::kDepart;
+              if (a_depart != b_depart) return a_depart;
+              return a.task < b.task;
+            });
+  return events;
+}
+
+std::vector<TaskChurnEvent> make_churn_schedule(
+    const ChurnScheduleOptions& options) {
+  if (options.ticks < 1)
+    throw std::invalid_argument("make_churn_schedule: ticks >= 1");
+  if (options.arrivals < 0)
+    throw std::invalid_argument("make_churn_schedule: arrivals >= 0");
+  if (options.hold_min < 1 || options.hold_max < options.hold_min)
+    throw std::invalid_argument(
+        "make_churn_schedule: 1 <= hold_min <= hold_max");
+  options.spec.validate();
+
+  Rng rng(options.seed);
+  std::vector<TaskChurnEvent> events;
+  events.reserve(static_cast<std::size_t>(options.arrivals) * 2);
+  for (int i = 0; i < options.arrivals; ++i) {
+    const auto task = static_cast<TaskId>(options.first_task +
+                                          static_cast<TaskId>(i));
+    // Fixed draw order per instance (arrive, then hold): inserting or
+    // removing instances never shifts another instance's draws.
+    const Tick arrive =
+        static_cast<Tick>(rng.uniform_int(0, options.ticks - 1));
+    const Tick hold = static_cast<Tick>(
+        rng.uniform_int(options.hold_min, options.hold_max));
+    events.push_back(
+        {TaskChurnEvent::Kind::kArrive, arrive, task, options.spec});
+    const Tick depart = arrive + hold;
+    if (depart < options.ticks)
+      events.push_back({TaskChurnEvent::Kind::kDepart, depart, task, {}});
+  }
+  return canonical_churn_order(std::move(events));
+}
+
 DynamicRunResult run_dynamic_tasks(std::span<const TimeSeries> monitor_series,
-                                   std::span<const TaskChurnEvent> events,
+                                   std::span<const TaskChurnEvent> raw_events,
                                    AllocatorKind allocator) {
   if (monitor_series.empty())
     throw std::invalid_argument("run_dynamic_tasks: no monitors");
@@ -332,10 +378,10 @@ DynamicRunResult run_dynamic_tasks(std::span<const TimeSeries> monitor_series,
     if (s.ticks() != ticks)
       throw std::invalid_argument("run_dynamic_tasks: series length mismatch");
   }
-  for (std::size_t i = 1; i < events.size(); ++i) {
-    if (events[i].tick < events[i - 1].tick)
-      throw std::invalid_argument("run_dynamic_tasks: events not sorted");
-  }
+  // Canonicalize so the run — registry epochs included — is a function of
+  // the event set alone, independent of producer ordering.
+  const std::vector<TaskChurnEvent> events = canonical_churn_order(
+      std::vector<TaskChurnEvent>(raw_events.begin(), raw_events.end()));
   const TimeSeries aggregate = TimeSeries::sum(monitor_series);
 
   return with_run_registry([&]() {

@@ -110,6 +110,35 @@ struct TaskChurnEvent {
   TaskSpec spec{};  // kArrive only
 };
 
+/// Canonical application order for churn events: ascending tick, departures
+/// before arrivals at the same tick (so a task id can be retired and
+/// re-added in one tick), ascending task id within each group. The ordering
+/// is a pure function of the events themselves — never of how they were
+/// produced — which is what makes scenario replays deterministic across
+/// producer thread counts and collection orders.
+std::vector<TaskChurnEvent> canonical_churn_order(
+    std::vector<TaskChurnEvent> events);
+
+/// Seed-derived random churn schedule: `arrivals` task instances with ids
+/// `first_task, first_task + 1, ...`, each arriving at a tick drawn
+/// uniformly from [0, ticks-1] and holding for a uniform
+/// [hold_min, hold_max] tick window (departure events past the run end are
+/// omitted — the instance simply lives to the end). All draws come from
+/// Rng(seed) in a fixed per-instance order, so the schedule is a pure
+/// function of these options; the result is in canonical_churn_order.
+struct ChurnScheduleOptions {
+  std::uint64_t seed{1};
+  Tick ticks{0};       // run length the schedule must fit in
+  int arrivals{0};     // task instances to create
+  TaskId first_task{100};
+  Tick hold_min{100};  // inclusive bounds on instance lifetime
+  Tick hold_max{500};
+  TaskSpec spec{};     // spec every arrival uses
+};
+
+std::vector<TaskChurnEvent> make_churn_schedule(
+    const ChurnScheduleOptions& options);
+
 /// One completed task instance of a dynamic run: accuracy and cost scored
 /// over the instance's active window [arrived, departed).
 struct DynamicTaskResult {
@@ -134,11 +163,13 @@ struct DynamicRunResult {
 /// plane's AddTask/RemoveTask), each task monitoring every series with an
 /// even local-threshold split and its own error-allowance allocation. Task
 /// revisions draw epochs from a control::TaskRegistry, so the run reports
-/// the same epoch numbering the wire runtime would assign. Events must be
-/// sorted by tick; an arrival for a live id or a departure for an unknown
-/// id throws. Use it to measure the adaptation cost of task churn — how a
-/// freshly arrived task's sampling cost converges while standing tasks keep
-/// their tuned intervals.
+/// the same epoch numbering the wire runtime would assign. Events may be
+/// given in any order: they are applied in canonical_churn_order, so the
+/// run (epochs included) depends only on the event *set*, never on the
+/// order a generator emitted it in. An arrival for a live id or a departure
+/// for an unknown id throws. Use it to measure the adaptation cost of task
+/// churn — how a freshly arrived task's sampling cost converges while
+/// standing tasks keep their tuned intervals.
 DynamicRunResult run_dynamic_tasks(std::span<const TimeSeries> monitor_series,
                                    std::span<const TaskChurnEvent> events,
                                    AllocatorKind allocator =

@@ -1,0 +1,165 @@
+// volley_soak — execute a declarative scenario (scenario/scenario.h) and
+// judge it against its per-phase invariants.
+//
+//   volley_soak scenario=FILE [mode=sim|net|both] [artifacts=DIR]
+//               [quick=0|1] [quick_ticks=N] [replay_check=0|1]
+//               [expect_fail=0|1]
+//
+//   mode          sim (default): deterministic fault-aware tick loop;
+//                 net: real coordinator/monitor processes through the chaos
+//                 proxy; both: sim then net.
+//   artifacts     write <name>-<mode>-report.json and
+//                 <name>-<mode>-snapshots.jsonl under DIR.
+//   quick         rescale the scenario to quick_ticks (default 1200) ticks —
+//                 the CI smoke setting.
+//   replay_check  (sim only) run the scenario twice and require the two
+//                 reports to be byte-identical — the replay contract.
+//   expect_fail   invert the invariant verdict: the run must TRIP at least
+//                 one invariant (regression scenarios that prove detection).
+//
+// Exit status: 0 all runs passed (or tripped, under expect_fail);
+// 1 execution error (unreadable scenario, I/O failure); 2 bad usage;
+// 3 invariant verdict wrong (a check failed — or, with expect_fail, none
+// did); 5 replay mismatch (two same-seed sim runs differed).
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "scenario/scenario.h"
+#include "scenario/soak.h"
+
+namespace {
+
+using namespace volley;
+using namespace volley::scenario;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInvariant = 3;
+constexpr int kExitReplayMismatch = 5;
+
+void usage() {
+  std::printf(
+      "usage: volley_soak scenario=FILE [mode=sim|net|both]\n"
+      "                   [artifacts=DIR] [quick=0|1] [quick_ticks=N]\n"
+      "                   [replay_check=0|1] [expect_fail=0|1]\n");
+}
+
+void print_summary(const SoakReport& report) {
+  std::printf("%s\n", report.to_json().c_str());
+  std::fprintf(stderr, "soak[%s/%s]: %zu phase(s), %zu epoch(s): %s\n",
+               report.scenario.c_str(), report.mode.c_str(),
+               report.phases.size(), report.epochs.size(),
+               report.passed() ? "PASS" : "FAIL");
+  for (const auto& phase : report.phases) {
+    for (const auto& check : phase.checks) {
+      if (!check.pass)
+        std::fprintf(stderr, "  phase %s: %s FAILED: %s\n",
+                     phase.phase.c_str(), check.name.c_str(),
+                     check.detail.c_str());
+    }
+  }
+  for (const auto& check : report.global_checks) {
+    if (!check.pass)
+      std::fprintf(stderr, "  global: %s FAILED: %s\n", check.name.c_str(),
+                   check.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "help" || arg == "--help" || arg == "-h") {
+      usage();
+      return kExitOk;
+    }
+    tokens.push_back(arg);
+  }
+
+  Config config;
+  try {
+    config = Config::from_args(tokens);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad arguments: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  const std::string path = config.get_string("scenario", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "volley_soak: scenario=FILE is required\n");
+    usage();
+    return kExitUsage;
+  }
+  const std::string mode = config.get_string("mode", "sim");
+  if (mode != "sim" && mode != "net" && mode != "both") {
+    std::fprintf(stderr, "volley_soak: mode must be sim, net, or both\n");
+    return kExitUsage;
+  }
+  const bool expect_fail = config.get_bool("expect_fail", false);
+  const bool replay_check = config.get_bool("replay_check", false);
+
+  SoakOptions options;
+  options.artifact_dir = config.get_string("artifacts", "");
+  options.quick = config.get_bool("quick", false);
+  options.quick_ticks =
+      static_cast<Tick>(config.get_int("quick_ticks", options.quick_ticks));
+
+  try {
+    const Scenario scenario = Scenario::from_file(path);
+
+    bool all_passed = true;
+    if (mode == "sim" || mode == "both") {
+      options.mode = SoakOptions::Mode::kSim;
+      const SoakReport report = run_scenario_sim(scenario, options);
+      print_summary(report);
+      all_passed = all_passed && report.passed();
+      if (replay_check) {
+        // Replay contract: a second run of the same {scenario, seed} must
+        // render the byte-identical report. Artifacts off — the first run
+        // owns the files.
+        SoakOptions replay = options;
+        replay.artifact_dir.clear();
+        const SoakReport again = run_scenario_sim(scenario, replay);
+        if (again.to_json() != report.to_json()) {
+          std::fprintf(stderr,
+                       "volley_soak: replay mismatch — two runs of "
+                       "{%s, seed=%llu} produced different reports\n",
+                       scenario.name.c_str(),
+                       static_cast<unsigned long long>(scenario.seed));
+          return kExitReplayMismatch;
+        }
+        std::fprintf(stderr, "soak[%s/sim]: replay check OK\n",
+                     scenario.name.c_str());
+      }
+    }
+    if (mode == "net" || mode == "both") {
+      options.mode = SoakOptions::Mode::kNet;
+      const SoakReport report = run_scenario_net(scenario, options);
+      print_summary(report);
+      all_passed = all_passed && report.passed();
+    }
+
+    if (expect_fail) {
+      if (all_passed) {
+        std::fprintf(stderr,
+                     "volley_soak: expected an invariant to trip, but every "
+                     "check passed\n");
+        return kExitInvariant;
+      }
+      std::fprintf(stderr,
+                   "volley_soak: invariant tripped as expected (detection "
+                   "proven)\n");
+      return kExitOk;
+    }
+    return all_passed ? kExitOk : kExitInvariant;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "volley_soak: %s\n", e.what());
+    return kExitError;
+  }
+}

@@ -17,8 +17,14 @@
 // `watch` re-lists every interval_ms and prints the task table whenever the
 // registry version changes (count=N stops after N lists; 0 = forever).
 //
-// Exit status: 0 on success, 1 on transport failure or a rejected mutation
-// (kNotFound / kExists / kInvalid), 2 on bad usage.
+// Exit status — distinct codes so scripts can branch on the failure class:
+//   0  success
+//   1  transport/protocol failure after connecting (send failed, no reply
+//      within the timeout, malformed or unexpected reply frame)
+//   2  bad usage (unknown verb, missing/invalid arguments)
+//   3  mutation rejected by the coordinator (kNotFound / kExists / kInvalid)
+//   4  cannot connect (refused or connect timeout — the coordinator is not
+//      reachable at host:port)
 #include <cstdio>
 #include <array>
 #include <chrono>
@@ -48,18 +54,34 @@ void usage() {
       "  watch  [interval_ms=MS] [count=N]\n");
 }
 
+// Exit codes (see the header comment).
+constexpr int kExitOk = 0;
+constexpr int kExitTransport = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRejected = 3;
+constexpr int kExitConnectRefused = 4;
+
 /// One-shot control exchange: connect, send `request`, await one reply.
+/// On failure, `exit_code` distinguishes a dead coordinator
+/// (kExitConnectRefused) from an established-but-broken exchange
+/// (kExitTransport).
 std::optional<net::Message> round_trip(const std::string& host,
                                        std::uint16_t port, int timeout_ms,
-                                       const net::Message& request) {
+                                       const net::Message& request,
+                                       int& exit_code) {
   auto conn = TcpConnection::try_connect(host, port, timeout_ms);
   if (!conn) {
-    std::fprintf(stderr, "volleyctl: cannot reach %s:%u\n", host.c_str(),
-                 port);
+    std::fprintf(stderr,
+                 "volleyctl: cannot connect to %s:%u "
+                 "(connection refused or timed out after %d ms) — is the "
+                 "coordinator running?\n",
+                 host.c_str(), port, timeout_ms);
+    exit_code = kExitConnectRefused;
     return std::nullopt;
   }
   if (!conn->send_all(frame_payload(net::encode(request)))) {
-    std::fprintf(stderr, "volleyctl: send failed\n");
+    std::fprintf(stderr, "volleyctl: send failed (connection broke)\n");
+    exit_code = kExitTransport;
     return std::nullopt;
   }
   FrameReader reader;
@@ -75,10 +97,12 @@ std::optional<net::Message> round_trip(const std::string& host,
       auto reply = net::decode(*payload);
       if (reply) return reply;
       std::fprintf(stderr, "volleyctl: malformed reply frame\n");
+      exit_code = kExitTransport;
       return std::nullopt;
     }
   }
   std::fprintf(stderr, "volleyctl: no reply within %d ms\n", timeout_ms);
+  exit_code = kExitTransport;
   return std::nullopt;
 }
 
@@ -102,20 +126,22 @@ int print_control_reply(const net::Message& reply) {
   const auto* control = std::get_if<net::ControlReply>(&reply);
   if (!control) {
     std::fprintf(stderr, "volleyctl: unexpected reply type\n");
-    return 1;
+    return kExitTransport;
   }
   if (control->status != control::ControlStatus::kOk) {
-    std::fprintf(stderr, "volleyctl: %s%s%s (registry version %llu)\n",
+    std::fprintf(stderr,
+                 "volleyctl: coordinator rejected the mutation: %s%s%s "
+                 "(registry version %llu)\n",
                  control::control_status_name(control->status),
                  control->message.empty() ? "" : ": ",
                  control->message.c_str(),
                  static_cast<unsigned long long>(control->registry_version));
-    return 1;
+    return kExitRejected;
   }
   std::printf("ok: epoch=%llu registry_version=%llu\n",
               static_cast<unsigned long long>(control->epoch),
               static_cast<unsigned long long>(control->registry_version));
-  return 0;
+  return kExitOk;
 }
 
 void print_task_table(const net::TaskListReply& list) {
@@ -158,7 +184,7 @@ int main(int argc, char** argv) {
   }
   if (verb.empty()) {
     usage();
-    return 2;
+    return kExitUsage;
   }
 
   Config config;
@@ -166,7 +192,7 @@ int main(int argc, char** argv) {
     config = Config::from_args(tokens);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad arguments: %s\n", e.what());
-    return 2;
+    return kExitUsage;
   }
 
   try {
@@ -176,33 +202,36 @@ int main(int argc, char** argv) {
         static_cast<int>(config.get_int("timeout_ms", 2000));
     if (port == 0) {
       std::fprintf(stderr, "volleyctl: port=P is required\n");
-      return 2;
+      return kExitUsage;
     }
 
     if (verb == "add" || verb == "update") {
       if (!config.has("task") || !config.has("threshold")) {
         std::fprintf(stderr, "volleyctl: %s needs task=ID threshold=T\n",
                      verb.c_str());
-        return 2;
+        return kExitUsage;
       }
       const auto task = static_cast<TaskId>(config.get_int("task", 0));
       const TaskSpec spec = spec_from_config(config);
       const net::Message request =
           verb == "add" ? net::Message{net::AddTask{task, spec}}
                         : net::Message{net::UpdateTask{task, spec}};
-      const auto reply = round_trip(host, port, timeout_ms, request);
-      return reply ? print_control_reply(*reply) : 1;
+      int exit_code = kExitTransport;
+      const auto reply =
+          round_trip(host, port, timeout_ms, request, exit_code);
+      return reply ? print_control_reply(*reply) : exit_code;
     }
 
     if (verb == "remove") {
       if (!config.has("task")) {
         std::fprintf(stderr, "volleyctl: remove needs task=ID\n");
-        return 2;
+        return kExitUsage;
       }
       const auto task = static_cast<TaskId>(config.get_int("task", 0));
-      const auto reply =
-          round_trip(host, port, timeout_ms, net::RemoveTask{task});
-      return reply ? print_control_reply(*reply) : 1;
+      int exit_code = kExitTransport;
+      const auto reply = round_trip(host, port, timeout_ms,
+                                    net::RemoveTask{task}, exit_code);
+      return reply ? print_control_reply(*reply) : exit_code;
     }
 
     if (verb == "list" || verb == "watch") {
@@ -215,13 +244,14 @@ int main(int argc, char** argv) {
         if (i > 0)
           std::this_thread::sleep_for(
               std::chrono::milliseconds(interval_ms));
-        const auto reply =
-            round_trip(host, port, timeout_ms, net::ListTasks{});
-        if (!reply) return 1;
+        int exit_code = kExitTransport;
+        const auto reply = round_trip(host, port, timeout_ms,
+                                      net::ListTasks{}, exit_code);
+        if (!reply) return exit_code;
         const auto* list = std::get_if<net::TaskListReply>(&*reply);
         if (!list) {
           std::fprintf(stderr, "volleyctl: unexpected reply type\n");
-          return 1;
+          return kExitTransport;
         }
         if (!watch || list->registry_version != last_version) {
           print_task_table(*list);
@@ -229,14 +259,14 @@ int main(int argc, char** argv) {
         }
         if (!watch && count == 1) break;
       }
-      return 0;
+      return kExitOk;
     }
 
     std::fprintf(stderr, "volleyctl: unknown verb '%s'\n", verb.c_str());
     usage();
-    return 2;
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "volleyctl: %s\n", e.what());
-    return 1;
+    return kExitTransport;
   }
 }

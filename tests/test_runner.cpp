@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "common/rng.h"
 #include "sim/runner.h"
@@ -294,17 +295,121 @@ TEST(RunDynamicTasks, RejectsInvalidEventStreams) {
   ghost.push_back({TaskChurnEvent::Kind::kDepart, 5, 9, {}});
   EXPECT_THROW(run_dynamic_tasks(series, ghost), std::invalid_argument);
 
-  // Events out of tick order.
-  std::vector<TaskChurnEvent> unsorted;
-  unsorted.push_back({TaskChurnEvent::Kind::kArrive, 50, 1, spec_for(5.0)});
-  unsorted.push_back({TaskChurnEvent::Kind::kArrive, 10, 2, spec_for(5.0)});
-  EXPECT_THROW(run_dynamic_tasks(series, unsorted), std::invalid_argument);
-
   // Series length mismatch.
   std::vector<TimeSeries> uneven{quiet_series(100, 32), quiet_series(50, 33)};
   std::vector<TaskChurnEvent> ok;
   ok.push_back({TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(5.0)});
   EXPECT_THROW(run_dynamic_tasks(uneven, ok), std::invalid_argument);
+}
+
+TEST(RunDynamicTasks, EventOrderDoesNotMatter) {
+  // The run is a pure function of the event *set*: shuffled input must
+  // produce results identical to sorted input (epochs included), because
+  // events are applied in canonical_churn_order.
+  constexpr Tick kTicks = 1200;
+  std::vector<TimeSeries> series{quiet_series(kTicks, 41),
+                                 quiet_series(kTicks, 42)};
+  for (Tick t = 600; t < 640; ++t) {
+    series[0][static_cast<std::size_t>(t)] = 9.0;
+    series[1][static_cast<std::size_t>(t)] = 9.0;
+  }
+
+  std::vector<TaskChurnEvent> sorted;
+  sorted.push_back({TaskChurnEvent::Kind::kArrive, 0, 1, spec_for(5.0)});
+  sorted.push_back({TaskChurnEvent::Kind::kArrive, 300, 2, spec_for(7.0)});
+  sorted.push_back({TaskChurnEvent::Kind::kDepart, 800, 2, {}});
+  // Same-tick retire-and-re-add of one id: the depart applies first
+  // regardless of input position.
+  sorted.push_back({TaskChurnEvent::Kind::kDepart, 900, 1, {}});
+  sorted.push_back({TaskChurnEvent::Kind::kArrive, 900, 1, spec_for(4.0)});
+
+  std::vector<TaskChurnEvent> shuffled{sorted[4], sorted[2], sorted[0],
+                                       sorted[3], sorted[1]};
+
+  const auto a = run_dynamic_tasks(series, sorted);
+  const auto b = run_dynamic_tasks(series, shuffled);
+  EXPECT_EQ(a.registry_version, b.registry_version);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.departures, b.departures);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task, b.tasks[i].task);
+    EXPECT_EQ(a.tasks[i].epoch, b.tasks[i].epoch);
+    EXPECT_EQ(a.tasks[i].arrived, b.tasks[i].arrived);
+    EXPECT_EQ(a.tasks[i].departed, b.tasks[i].departed);
+    EXPECT_EQ(a.tasks[i].result.total_ops(), b.tasks[i].result.total_ops());
+    EXPECT_EQ(a.tasks[i].result.global_polls,
+              b.tasks[i].result.global_polls);
+    EXPECT_EQ(a.tasks[i].result.detected_episodes,
+              b.tasks[i].result.detected_episodes);
+  }
+}
+
+TEST(MakeChurnSchedule, SeedDerivedAndCanonical) {
+  ChurnScheduleOptions options;
+  options.seed = 77;
+  options.ticks = 2000;
+  options.arrivals = 6;
+  options.first_task = 100;
+  options.hold_min = 100;
+  options.hold_max = 400;
+  options.spec = spec_for(5.0);
+
+  const auto a = make_churn_schedule(options);
+  const auto b = make_churn_schedule(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].tick, b[i].tick);
+    EXPECT_EQ(a[i].task, b[i].task);
+  }
+
+  // Canonical order: ascending tick; departs before arrives on ties;
+  // ascending task id within a group.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LE(a[i - 1].tick, a[i].tick);
+    if (a[i - 1].tick == a[i].tick) {
+      const int ra = a[i - 1].kind == TaskChurnEvent::Kind::kDepart ? 0 : 1;
+      const int rb = a[i].kind == TaskChurnEvent::Kind::kDepart ? 0 : 1;
+      ASSERT_LE(ra, rb);
+      if (ra == rb) {
+        ASSERT_LT(a[i - 1].task, a[i].task);
+      }
+    }
+  }
+
+  // Every instance arrives; holds stay within [hold_min, hold_max].
+  std::map<TaskId, Tick> arrive;
+  int departs = 0;
+  for (const auto& event : a) {
+    if (event.kind == TaskChurnEvent::Kind::kArrive) {
+      EXPECT_GE(event.task, options.first_task);
+      EXPECT_LT(event.task,
+                options.first_task + static_cast<TaskId>(options.arrivals));
+      arrive[event.task] = event.tick;
+    } else {
+      ++departs;
+      ASSERT_TRUE(arrive.count(event.task));
+      const Tick hold = event.tick - arrive[event.task];
+      EXPECT_GE(hold, options.hold_min);
+      EXPECT_LE(hold, options.hold_max);
+    }
+  }
+  EXPECT_EQ(arrive.size(), static_cast<std::size_t>(options.arrivals));
+  EXPECT_LE(departs, options.arrivals);
+
+  // A different seed draws a different schedule.
+  options.seed = 78;
+  const auto c = make_churn_schedule(options);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].tick != c[i].tick || a[i].task != c[i].task;
+  EXPECT_TRUE(differs);
+
+  // The schedule must run under run_dynamic_tasks as-is.
+  std::vector<TimeSeries> series{quiet_series(options.ticks, 51)};
+  const auto run = run_dynamic_tasks(series, a);
+  EXPECT_EQ(run.arrivals, options.arrivals);
 }
 
 }  // namespace
