@@ -1,28 +1,41 @@
-// Datacenter-scale hot-path benchmark (DESIGN.md §10).
+// Datacenter-scale hot-path benchmark (DESIGN.md §10, §11).
 //
 // Part 1 — single-task coordinator tick throughput at 1k/10k/50k monitors.
 // A quiet workload (every sampler pinned at Im in steady state) is driven
-// twice through Coordinator::run_tick — once with the legacy full scan
-// (set_scan_ticks(true)), once with the due index — asserting bit-identical
-// RunResult accounting and reporting ticks/sec. This is the scenario the
-// due index exists for: with adaptive sampling doing its job, almost every
-// tick has nothing due, yet the scan still pays O(monitors) pointer chases
-// per tick. Im = 128 here also exercises the Im-derived bound of the
-// volley_sampler_interval_ticks histogram (it used to clip at 64).
+// through Coordinator::run_tick three ways, all asserted bit-identical:
+//   scan+scalar   legacy full scan with the verbatim β̄ loop — the
+//                 pre-due-index, pre-kernel baseline;
+//   index+scalar  due index, still the scalar β̄ loop (VOLLEY_SCALAR_BETA
+//                 semantics) — isolates the scheduling win;
+//   index+kernel  due index plus the likelihood kernel's batched drain —
+//                 the default path; isolates the β̄-evaluation win.
+// Idle ticks (nothing due — the due index's O(1) case) and sample ticks
+// (every monitor due — the β̄ kernel's case) are timed as separate phases.
+// Im = 128 also exercises the Im-derived interval-histogram bound.
 //
-// Part 2 — a mixed fleet of 200 tasks on the discrete-event simulator with
+// Part 2 — the β̄-evaluation phase alone: identical lane populations
+// evaluated by the scalar loop, the batch kernel (cold memos), and the
+// batch kernel with warm memos (the incremental layer), reporting ns per
+// evaluation. Two populations: "quiet" (far below threshold — the zero-β̄
+// certificate regime adaptive sampling spends its life in) and "noisy"
+// (near threshold — the blocked/SIMD product loop has to run). Every
+// variant's outputs are asserted bitwise equal to the scalar loop's.
+//
+// Part 3 — a mixed fleet of 200 tasks on the discrete-event simulator with
 // the paper's default-interval mix (1 s application, 5 s system, 15 s
 // network tasks) and occasional bursts that force global polls, reporting
 // events/sec scan vs indexed with the same identity assertion over every
 // task's accounting and the run-scoped metrics snapshot.
 //
-// VOLLEY_BENCH_QUICK=1 shrinks both parts to smoke size. Emits
-// BENCH_scale.json. The process-global trace sink is switched off while
-// the bench runs (obs::set_global_trace_enabled) so the numbers measure
-// the monitoring hot path, not the trace ring.
+// VOLLEY_BENCH_QUICK=1 shrinks all parts to smoke size. Emits
+// BENCH_scale.json (schema checked by the CI bench-smoke job). The
+// process-global trace sink is switched off while the bench runs
+// (obs::set_global_trace_enabled) so the numbers measure the monitoring
+// hot path, not the trace ring.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +43,7 @@
 #include "bench/bench_util.h"
 #include "core/coordinator.h"
 #include "core/error_allocation.h"
+#include "core/likelihood_kernel.h"
 #include "core/metric_source.h"
 #include "core/monitor.h"
 #include "core/task.h"
@@ -75,21 +89,31 @@ struct SingleTiming {
   double idle_tps() const {
     return static_cast<double>(idle_ticks) / idle_seconds;
   }
+  double sample_tps() const {
+    return static_cast<double>(sample_ticks) / sample_seconds;
+  }
   double overall_tps() const {
     return static_cast<double>(idle_ticks + sample_ticks) /
            (idle_seconds + sample_seconds);
   }
 };
 
-SingleTiming run_single(std::size_t n, bool scan, Tick warmup, Tick timed,
-                        Tick max_interval) {
+SingleTiming run_single(std::size_t n, bool scan, bool scalar, Tick warmup,
+                        Tick timed, Tick max_interval) {
+  const bool prior_scalar = scalar_beta();
+  set_scalar_beta(scalar);
   SingleTiming out;
   obs::MetricsRegistry registry;
   {
     obs::ScopedMetricsRegistry scope(registry);
 
     TaskSpec spec;
-    spec.global_threshold = 1e6 * static_cast<double>(n);
+    // Far enough above the ~1.0 values that the kernel's zero-β̄
+    // certificate regime holds at I = Im: k_Im = T/(Im·σ) ≈ 1e9/(128·6e-4)
+    // ≈ 1.3e10 ≥ 2^28. A merely-comfortable margin (say 1e6) leaves k_Im
+    // ~2e7 below the certificate threshold and β̄ genuinely nonzero
+    // (~1e-13), forcing the O(I) loop — quiet must mean *quiet*.
+    spec.global_threshold = 1e9 * static_cast<double>(n);
     spec.error_allowance = 0.05;
     spec.max_interval = max_interval;
     spec.patience = 1;
@@ -186,10 +210,122 @@ SingleTiming run_single(std::size_t n, bool scan, Tick warmup, Tick timed,
     r.reallocations = coordinator.reallocations();
     r.metrics_json = registry.to_json();
   }
+  set_scalar_beta(prior_scalar);
   return out;
 }
 
-// --- Part 2: mixed-interval fleet on the event queue ------------------
+// --- Part 2: the β̄-evaluation phase in isolation ----------------------
+//
+// Lane populations mirror the two regimes a monitor lives in. Quiet: far
+// below threshold, where the kernel's zero-β̄ certificate answers in O(1);
+// this is the steady state adaptive sampling creates (the whole point of
+// growing I is that violations became unlikely). Noisy: near threshold,
+// where the O(I) product loop must run and only the blocked/SIMD factor
+// computation helps. "Incremental" re-evaluates the same lanes against
+// warm per-lane memos — the same-key re-evaluation the AIMD rule performs
+// between adaptation decisions.
+
+struct BetaEvalTiming {
+  std::size_t lanes{0};
+  int reps{0};
+  double scalar_ns{0.0};       // baseline loop, per evaluation
+  double kernel_ns{0.0};       // batch kernel, cold memos
+  double incremental_ns{0.0};  // batch kernel, warm memos
+
+  double kernel_speedup() const { return scalar_ns / kernel_ns; }
+  double incremental_speedup() const { return scalar_ns / incremental_ns; }
+};
+
+BetaEvalTiming time_beta_eval(bool quiet_population, std::size_t lanes,
+                              int reps, Tick interval) {
+  const bool prior_scalar = scalar_beta();
+  set_scalar_beta(false);  // the kernel variants must not take the hatch
+  BetaEvalTiming out;
+  out.lanes = lanes;
+  out.reps = reps;
+
+  std::vector<double> value(lanes), threshold(lanes);
+  std::vector<DeltaStats> stats(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::uint64_t h = mix(0x5eedull, l);
+    const double u = static_cast<double>(h & 0xffffu) / 65536.0;
+    if (quiet_population) {
+      // Matches Part 1's steady state: k_I ~ 1e10 >= 2^28, so the zero-β̄
+      // certificate answers without running the product loop.
+      value[l] = 1.0 + 1e-3 * u;
+      threshold[l] = 1e9;
+      stats[l] = DeltaStats{1e-6 * u, 4e-4 * (0.5 + u)};
+    } else {
+      value[l] = 5.0 * u;
+      threshold[l] = 10.0;
+      stats[l] = DeltaStats{0.01 * u, 0.8 + u};
+    }
+  }
+
+  // Scalar baseline loop.
+  std::vector<double> expected(lanes);
+  const double s0 = bench::now_seconds();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      expected[l] = beta_bound_with(value[l], threshold[l], stats[l],
+                                    interval, chebyshev_step_bound);
+    }
+  }
+  out.scalar_ns = (bench::now_seconds() - s0) * 1e9 /
+                  (static_cast<double>(lanes) * reps);
+
+  const auto check = [&](const BetaBatch& batch, const char* variant) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (std::memcmp(&batch.beta[l], &expected[l], sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "bench scale: %s beta diverged from the scalar loop at "
+                     "lane %zu (identity violation)\n",
+                     variant, l);
+        std::exit(1);
+      }
+    }
+  };
+
+  // Batch kernel, cold memos: every evaluation re-proves the certificate
+  // or re-runs the blocked loop (caches cleared each rep).
+  std::vector<BetaBoundCache> memos(lanes);
+  BetaBatch batch;
+  double kernel_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (auto& memo : memos) memo.invalidate();
+    batch.clear();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      batch.push_lane(value[l], threshold[l], stats[l], interval, false,
+                      false, &memos[l]);
+    }
+    const double t0 = bench::now_seconds();
+    beta_bound_batch(batch);
+    kernel_seconds += bench::now_seconds() - t0;
+  }
+  check(batch, "batch-kernel");
+  out.kernel_ns = kernel_seconds * 1e9 / (static_cast<double>(lanes) * reps);
+
+  // Incremental: memos stay warm, so each evaluation is a key compare and
+  // a memo read (the same-interval hit path).
+  double incremental_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    batch.clear();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      batch.push_lane(value[l], threshold[l], stats[l], interval, false,
+                      false, &memos[l]);
+    }
+    const double t0 = bench::now_seconds();
+    beta_bound_batch(batch);
+    incremental_seconds += bench::now_seconds() - t0;
+  }
+  check(batch, "incremental");
+  out.incremental_ns =
+      incremental_seconds * 1e9 / (static_cast<double>(lanes) * reps);
+  set_scalar_beta(prior_scalar);
+  return out;
+}
+
+// --- Part 3: mixed-interval fleet on the event queue ------------------
 
 struct SimOutcome {
   std::uint64_t events{0};
@@ -299,10 +435,26 @@ struct SingleRow {
   double scan_overall_tps;
   double indexed_overall_tps;
   double overall_speedup;
+  // β̄ kernel columns (index+kernel vs index+scalar, DESIGN.md §11):
+  double scalar_sample_tps;   // sample ticks/s, scalar β̄ loop
+  double kernel_sample_tps;   // sample ticks/s, batched kernel
+  double kernel_sample_speedup;
+  double kernel_overall_tps;
+  double kernel_overall_speedup;  // vs index+scalar: the headline claim
 };
+
+bool simd_enabled() {
+#if defined(VOLLEY_OPENMP_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
 
 void write_scale_json(bool quick, Tick max_interval, Tick timed,
                       const std::vector<SingleRow>& rows,
+                      const BetaEvalTiming& quiet_eval,
+                      const BetaEvalTiming& noisy_eval,
                       std::size_t sim_tasks, const SimOutcome& sim_scan,
                       const SimOutcome& sim_indexed) {
   std::FILE* f = std::fopen("BENCH_scale.json", "w");
@@ -321,11 +473,37 @@ void write_scale_json(bool quick, Tick max_interval, Tick timed,
                  "\"indexed_idle_ticks_per_sec\":%.1f,\"speedup\":%.3f,"
                  "\"scan_overall_ticks_per_sec\":%.1f,"
                  "\"indexed_overall_ticks_per_sec\":%.1f,"
-                 "\"overall_speedup\":%.3f}",
+                 "\"overall_speedup\":%.3f,"
+                 "\"scalar_sample_ticks_per_sec\":%.1f,"
+                 "\"kernel_sample_ticks_per_sec\":%.1f,"
+                 "\"kernel_sample_speedup\":%.3f,"
+                 "\"kernel_overall_ticks_per_sec\":%.1f,"
+                 "\"kernel_overall_speedup\":%.3f}",
                  i == 0 ? "" : ",", r.monitors, r.scan_idle_tps,
                  r.indexed_idle_tps, r.speedup, r.scan_overall_tps,
-                 r.indexed_overall_tps, r.overall_speedup);
+                 r.indexed_overall_tps, r.overall_speedup,
+                 r.scalar_sample_tps, r.kernel_sample_tps,
+                 r.kernel_sample_speedup, r.kernel_overall_tps,
+                 r.kernel_overall_speedup);
   }
+  std::fprintf(f,
+               "],\"beta_eval\":{\"interval\":%lld,\"simd\":%s,"
+               "\"quiet\":{\"lanes\":%zu,\"reps\":%d,"
+               "\"scalar_ns_per_eval\":%.2f,\"kernel_ns_per_eval\":%.2f,"
+               "\"incremental_ns_per_eval\":%.2f,\"kernel_speedup\":%.2f,"
+               "\"incremental_speedup\":%.2f},"
+               "\"noisy\":{\"lanes\":%zu,\"reps\":%d,"
+               "\"scalar_ns_per_eval\":%.2f,\"kernel_ns_per_eval\":%.2f,"
+               "\"incremental_ns_per_eval\":%.2f,\"kernel_speedup\":%.2f,"
+               "\"incremental_speedup\":%.2f}},",
+               static_cast<long long>(max_interval),
+               simd_enabled() ? "true" : "false", quiet_eval.lanes,
+               quiet_eval.reps, quiet_eval.scalar_ns, quiet_eval.kernel_ns,
+               quiet_eval.incremental_ns, quiet_eval.kernel_speedup(),
+               quiet_eval.incremental_speedup(), noisy_eval.lanes,
+               noisy_eval.reps, noisy_eval.scalar_ns, noisy_eval.kernel_ns,
+               noisy_eval.incremental_ns, noisy_eval.kernel_speedup(),
+               noisy_eval.incremental_speedup());
   const double scan_eps =
       sim_scan.run_seconds > 0.0
           ? static_cast<double>(sim_scan.events) / sim_scan.run_seconds
@@ -335,7 +513,7 @@ void write_scale_json(bool quick, Tick max_interval, Tick timed,
           ? static_cast<double>(sim_indexed.events) / sim_indexed.run_seconds
           : 0.0;
   std::fprintf(f,
-               "],\"sim_tasks\":%zu,\"sim_events\":%llu,"
+               "\"sim_tasks\":%zu,\"sim_events\":%llu,"
                "\"sim_scan_events_per_sec\":%.1f,"
                "\"sim_indexed_events_per_sec\":%.1f,\"sim_speedup\":%.3f,"
                "\"identical\":true}\n",
@@ -363,7 +541,7 @@ void run() {
   }
 
   bench::print_header(
-      "Scale — single-run hot path: due-index vs full-scan ticks",
+      "Scale — single-run hot path: due index + batched β̄ kernel",
       "in-process mirror of the paper's 800-VM deployment scale (Sec. V)");
   std::printf(
       "steady state: every sampler pinned at Im=%lld, so %lld of every "
@@ -374,15 +552,19 @@ void run() {
       static_cast<long long>(max_interval - 1),
       static_cast<long long>(max_interval));
 
-  bench::print_row(
-      {"monitors", "scan idle", "index idle", "speedup", "overall"});
+  bench::print_row({"monitors", "idle speedup", "beta speedup", "overall",
+                    "vs seed"});
   std::vector<SingleRow> rows;
   for (std::size_t n : sizes) {
-    const auto scan = run_single(n, true, warmup, timed, max_interval);
-    const auto indexed = run_single(n, false, warmup, timed, max_interval);
-    if (!bench::same_result(scan.result, indexed.result)) {
+    const auto scan = run_single(n, true, true, warmup, timed, max_interval);
+    const auto scalar =
+        run_single(n, false, true, warmup, timed, max_interval);
+    const auto kernel =
+        run_single(n, false, false, warmup, timed, max_interval);
+    if (!bench::same_result(scan.result, scalar.result) ||
+        !bench::same_result(scalar.result, kernel.result)) {
       std::fprintf(stderr,
-                   "bench scale: due-index run diverged from the scan at "
+                   "bench scale: scan/scalar/kernel runs diverged at "
                    "%zu monitors (determinism violation)\n",
                    n);
       std::exit(1);
@@ -390,22 +572,56 @@ void run() {
     SingleRow row;
     row.monitors = n;
     row.scan_idle_tps = scan.idle_tps();
-    row.indexed_idle_tps = indexed.idle_tps();
+    row.indexed_idle_tps = scalar.idle_tps();
     row.speedup = row.indexed_idle_tps / row.scan_idle_tps;
     row.scan_overall_tps = scan.overall_tps();
-    row.indexed_overall_tps = indexed.overall_tps();
+    row.indexed_overall_tps = scalar.overall_tps();
     row.overall_speedup = row.indexed_overall_tps / row.scan_overall_tps;
+    row.scalar_sample_tps = scalar.sample_tps();
+    row.kernel_sample_tps = kernel.sample_tps();
+    row.kernel_sample_speedup = row.kernel_sample_tps / row.scalar_sample_tps;
+    row.kernel_overall_tps = kernel.overall_tps();
+    row.kernel_overall_speedup =
+        row.kernel_overall_tps / row.indexed_overall_tps;
     rows.push_back(row);
-    bench::print_row({std::to_string(n), bench::fmt(row.scan_idle_tps, 0),
-                      bench::fmt(row.indexed_idle_tps, 0),
-                      bench::fmt(row.speedup, 1) + "x",
-                      bench::fmt(row.overall_speedup, 2) + "x"});
+    bench::print_row({std::to_string(n), bench::fmt(row.speedup, 1) + "x",
+                      bench::fmt(row.kernel_sample_speedup, 1) + "x",
+                      bench::fmt(row.kernel_overall_speedup, 2) + "x",
+                      bench::fmt(row.kernel_overall_tps /
+                                     row.scan_overall_tps, 2) + "x"});
   }
   std::printf(
-      "\n(idle columns: run_tick calls/second on ticks with nothing due — "
-      "the cost the due index removes; overall folds in the sample ticks, "
-      "whose beta-bound evaluation dominates and is shared by both modes. "
-      "Identical RunResult accounting asserted per size.)\n\n");
+      "\n(idle speedup: due-index vs scan on ticks with nothing due; beta "
+      "speedup: batched likelihood kernel vs the scalar β̄ loop on sample "
+      "ticks; overall: index+kernel vs index+scalar across all ticks — the "
+      "DESIGN.md §11 headline; vs seed: index+kernel vs scan+scalar, the "
+      "pre-index pre-kernel baseline. Identical RunResult accounting "
+      "asserted across all three runs per size.)\n\n");
+
+  // --- Part 2: β̄ evaluation in isolation ------------------------------
+  const std::size_t eval_lanes = quick ? 20000 : 50000;
+  const int eval_reps = quick ? 4 : 8;
+  const auto quiet_eval =
+      time_beta_eval(true, eval_lanes, eval_reps, max_interval);
+  const auto noisy_eval =
+      time_beta_eval(false, eval_lanes, eval_reps, max_interval);
+  std::printf("beta evaluation phase (%zu lanes, I=%lld, SIMD %s):\n",
+              eval_lanes, static_cast<long long>(max_interval),
+              simd_enabled() ? "on" : "off");
+  bench::print_row(
+      {"population", "scalar ns", "kernel ns", "increm. ns", "speedup"});
+  bench::print_row({"quiet", bench::fmt(quiet_eval.scalar_ns, 1),
+                    bench::fmt(quiet_eval.kernel_ns, 1),
+                    bench::fmt(quiet_eval.incremental_ns, 1),
+                    bench::fmt(quiet_eval.kernel_speedup(), 1) + "x"});
+  bench::print_row({"noisy", bench::fmt(noisy_eval.scalar_ns, 1),
+                    bench::fmt(noisy_eval.kernel_ns, 1),
+                    bench::fmt(noisy_eval.incremental_ns, 1),
+                    bench::fmt(noisy_eval.kernel_speedup(), 1) + "x"});
+  std::printf(
+      "\n(ns per β̄ evaluation. quiet = far below threshold, the zero-β̄ "
+      "certificate regime; noisy = near threshold, the blocked/SIMD loop. "
+      "Every variant's lanes asserted bitwise equal to the scalar loop.)\n\n");
 
   const std::size_t sim_tasks = quick ? 40 : 200;
   const SimTime horizon = quick ? 900.0 : 3600.0;
@@ -432,8 +648,8 @@ void run() {
               "metrics snapshots asserted)\n",
               indexed_eps / scan_eps);
 
-  write_scale_json(quick, max_interval, timed, rows, sim_tasks, sim_scan,
-                   sim_indexed);
+  write_scale_json(quick, max_interval, timed, rows, quiet_eval, noisy_eval,
+                   sim_tasks, sim_scan, sim_indexed);
   std::printf("-> BENCH_scale.json\n");
   obs::set_global_trace_enabled(true);
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/error_allocation.h"
+#include "core/likelihood_kernel.h"
 #include "core/monitor.h"
 #include "core/task.h"
 #include "core/types.h"
@@ -50,7 +51,11 @@ class Coordinator {
 
   /// Advances the task by one tick. Touches only the monitors due at `t`
   /// (see the due-index notes below); the result and every observable side
-  /// effect are bit-identical to scanning all monitors in id order.
+  /// effect are bit-identical to scanning all monitors in id order. When
+  /// enough monitors are due at once, their β̄ evaluations are drained
+  /// into one likelihood-kernel batch invocation (begin_step /
+  /// beta_bound_batch / finish_step, DESIGN.md §11) — also bit-identical,
+  /// and disabled along with the kernel by VOLLEY_SCALAR_BETA.
   TickResult run_tick(Tick t);
 
   /// Escape hatch: when true, run_tick scans every monitor calling due(t)
@@ -121,6 +126,7 @@ class Coordinator {
   std::size_t window_{0};                         // bucket count (max Im + 2)
   std::vector<std::vector<MonitorId>> buckets_;   // ring keyed tick % window_
   std::vector<MonitorId> due_scratch_;            // ids due this tick, sorted
+  BetaBatch beta_batch_;                          // sample-tick drain scratch
 
   std::int64_t global_polls_{0};
   std::int64_t global_violations_{0};

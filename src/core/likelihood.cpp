@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/likelihood_kernel.h"
+
 namespace volley {
 
 double chebyshev_step_bound(double value, double threshold,
@@ -78,8 +80,27 @@ double ViolationLikelihoodEstimator::beta_bound(double threshold,
     return beta_bound_with(v, threshold, *stats, interval,
                            gaussian_step_bound);
   }
-  return beta_bound_with(v, threshold, *stats, interval,
-                         chebyshev_step_bound);
+  if (scalar_beta()) {
+    // Escape hatch (VOLLEY_SCALAR_BETA): the verbatim identity baseline.
+    return beta_bound_with(v, threshold, *stats, interval,
+                           chebyshev_step_bound);
+  }
+  return beta_bound_chebyshev(v, threshold, *stats, interval, &cache_);
+}
+
+void ViolationLikelihoodEstimator::push_lane(double threshold, Tick interval,
+                                             BetaBatch& batch) const {
+  if (interval < 1)
+    throw std::invalid_argument("push_lane: interval >= 1");
+  const auto stats = snapshot_stats();
+  if (!stats) {
+    batch.push_lane(0.0, threshold, DeltaStats{}, interval, /*is_cold=*/true,
+                    /*is_gaussian=*/false, nullptr);
+    return;
+  }
+  batch.push_lane(*last_value_, threshold, *stats, interval,
+                  /*is_cold=*/false,
+                  options_.bound == Bound::kGaussian, &cache_);
 }
 
 double ViolationLikelihoodEstimator::violation_likelihood(double threshold,
@@ -96,6 +117,7 @@ double ViolationLikelihoodEstimator::violation_likelihood(double threshold,
 void ViolationLikelihoodEstimator::reset() {
   stats_.reset();
   last_value_.reset();
+  cache_.invalidate();
 }
 
 }  // namespace volley

@@ -1,16 +1,22 @@
 // Violation-likelihood estimation (paper Section III-A).
 //
+// This header is the single authoritative statement of the β̄ math; every
+// other file (adaptive_sampler.h, likelihood_kernel.h, DESIGN.md §11)
+// references it rather than restating the derivation.
+//
 // Model: delta, the change between two samples taken one default interval Id
 // apart, is a time-independent random variable with (online-estimated) mean
 // mu and standard deviation sigma. The probability that the value i default
 // intervals after the current sample v exceeds the threshold T is bounded by
-// the one-sided Chebyshev inequality:
+// the one-sided Chebyshev inequality (Inequality 1):
 //
 //     P[v + i*delta > T] = P[delta > (T - v)/i] <= 1 / (1 + k_i^2),
 //     k_i = (T - v - i*mu) / (i*sigma),          valid only when k_i > 0.
 //
 // The mis-detection rate of sampling interval I (Definition 2) is the
-// probability that at least one of the I skipped/next points violates:
+// probability that at least one of the I skipped/next points violates;
+// treating the per-step events through their individual bounds gives
+// (Inequality 3):
 //
 //     beta(I) = 1 - prod_{i=1..I} (1 - P[v + i*delta > T])
 //            <= 1 - prod_{i=1..I} k_i^2 / (1 + k_i^2)   =: beta_bound(I)
@@ -20,6 +26,17 @@
 //  * sigma == 0 (deterministic drift)           -> bound = 0 or 1 exactly.
 //  * too few delta observations                 -> bound = 1 (cold start
 //    pins the sampler at the default interval until statistics exist).
+//
+// Evaluation contract: `beta_bound_with` below — the literal product loop
+// with its saturation early-exit — is the semantic *and bitwise* definition
+// of β̄'s value. The fast paths in likelihood_kernel.h (zero-β̄ certificate,
+// incremental prefix reuse, blocked/SIMD loop, SoA batch) are pure
+// accelerations: they must return the identical double for every input,
+// property-tested in tests/test_likelihood_kernel.cpp and re-asserted by
+// bench_scale on every run. `VOLLEY_SCALAR_BETA=1` (or set_scalar_beta)
+// routes evaluation back through this loop verbatim. Numerics notes,
+// including why the incremental form keeps a product prefix rather than a
+// log-space sum, live in DESIGN.md §11.
 //
 // `GaussianLikelihoodEstimator` is the ablation comparator (bench_ablation_
 // estimator): identical interface but assumes delta ~ Normal(mu, sigma),
@@ -32,6 +49,9 @@
 //
 // Thread-safety: none. An estimator belongs to one monitor and is driven
 // from that monitor's sampling loop; confine each instance to one thread.
+// The embedded BetaBoundCache memo inherits that confinement — batch
+// evaluation (likelihood_kernel.h) runs on the owning coordinator's
+// thread, never concurrently with the monitor's own calls.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +66,30 @@ namespace volley {
 struct DeltaStats {
   double mean{0.0};
   double stddev{0.0};
+};
+
+struct BetaBatch;  // likelihood_kernel.h
+
+/// Memo of the most recent Chebyshev β̄ evaluation for one estimator
+/// state (the kernel's incremental layer, DESIGN.md §11). Valid while the
+/// (value, threshold, mean, stddev) key is bitwise unchanged; `interval`
+/// == 0 means empty. `survive` is the running survival product after
+/// `interval` factors; `saturated` records that the baseline's early-exit
+/// fired at step `interval` (every larger I then yields exactly 1.0).
+struct BetaBoundCache {
+  double value{0.0};
+  double threshold{0.0};
+  DeltaStats stats{};
+  Tick interval{0};
+  double survive{1.0};
+  double result{1.0};
+  bool saturated{false};
+
+  void invalidate() { interval = 0; }
+  bool matches(double v, double t, const DeltaStats& s) const {
+    return interval > 0 && value == v && threshold == t &&
+           stats.mean == s.mean && stats.stddev == s.stddev;
+  }
 };
 
 /// One-sided Chebyshev bound on P[v + i*delta > T]. Pure function — the
@@ -100,8 +144,17 @@ class ViolationLikelihoodEstimator {
 
   /// Upper bound on the mis-detection rate beta(I) for the given sampling
   /// interval, from the most recent observation. Returns 1 while fewer than
-  /// `min_observations` delta values have been seen.
+  /// `min_observations` delta values have been seen. Chebyshev evaluations
+  /// go through the likelihood kernel (certificate + incremental memo +
+  /// SIMD loop) unless scalar_beta() is set; the value returned is bitwise
+  /// identical either way (the kernel's identity contract).
   double beta_bound(double threshold, Tick interval) const;
+
+  /// Pushes this estimator's current β̄ evaluation inputs — post-observe
+  /// value, stats snapshot or cold flag, bound choice, memo pointer — as
+  /// one lane of a batch evaluation (likelihood_kernel.h). The lane's
+  /// result is bitwise identical to beta_bound(threshold, interval).
+  void push_lane(double threshold, Tick interval, BetaBatch& batch) const;
 
   /// P[next value at +i ticks exceeds threshold] bound (Definition 1 for a
   /// horizon of i ticks).
@@ -124,6 +177,9 @@ class ViolationLikelihoodEstimator {
   Options options_;
   WindowedStats stats_;
   std::optional<double> last_value_;
+  // Kernel memo; logically state of the evaluation, not of the estimate,
+  // hence mutable behind the const beta_bound.
+  mutable BetaBoundCache cache_;
 };
 
 }  // namespace volley
