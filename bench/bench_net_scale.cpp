@@ -1,0 +1,512 @@
+// Net-runtime scale benchmark: the epoll reactor vs the legacy poll(2)
+// loop, head to head in one process (DESIGN.md §12).
+//
+// For each fleet size N the bench boots a CoordinatorNode, joins N raw
+// loopback connections (Hello + one acked Heartbeat each), and measures
+// three phases per event-loop mode (options.poll_loop forces each path,
+// independent of VOLLEY_POLL_LOOP):
+//
+//   idle   — nobody sends anything. The legacy loop turns every 20 ms and
+//            rebuilds + scans an N-wide pollfd array each turn; the reactor
+//            sleeps in epoll_wait (its only turns are the timer wheel's
+//            ~0.5 s lap ticks while the coalesced liveness deadline is far
+//            out). Reported: loop wakeups/sec and coordinator-thread CPU
+//            (pthread_getcpuclockid) across the window.
+//   load   — worker threads blast batched Heartbeat frames over every
+//            connection and drain the acks. Reported: messages the
+//            coordinator handled per second (ingress drain + batched
+//            writev egress vs per-frame blocking send_all).
+//   polls  — one connection reports a LocalViolation; every connection
+//            answers the resulting global PollRequest. Reported: p50/p99
+//            violation-to-settle latency from coordinator.poll_settle_ms().
+//
+// Acceptance targets (full mode, N = 1000): idle wakeup reduction >= 5x,
+// sustained report throughput >= 2x. VOLLEY_BENCH_QUICK=1 shrinks the
+// fleet sizes and windows to smoke size. Emits BENCH_net.json (schema
+// checked by the CI bench-smoke job).
+#include <poll.h>
+#include <pthread.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <time.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/coordinator_node.h"
+#include "net/framing.h"
+#include "net/messages.h"
+#include "net/socket.h"
+
+namespace volley {
+namespace {
+
+using net::Heartbeat;
+using net::HeartbeatAck;
+using net::Hello;
+using net::LocalViolation;
+using net::Message;
+using net::PollRequest;
+using net::PollResponse;
+
+struct BenchConfig {
+  std::vector<std::size_t> sizes;
+  int idle_ms{1000};
+  int load_ms{1500};
+  int polls{8};
+};
+
+struct ModeResult {
+  double idle_wakeups_per_sec{0.0};
+  double idle_cpu_ms{0.0};
+  double load_msgs_per_sec{0.0};
+  double load_cpu_ms{0.0};
+  double settle_p50_ms{0.0};
+  double settle_p99_ms{0.0};
+};
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double thread_cpu_ms(clockid_t cid) {
+  timespec ts{};
+  if (clock_gettime(cid, &ts) != 0) return 0.0;
+  return ts.tv_sec * 1000.0 + ts.tv_nsec / 1e6;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+/// Sends the whole buffer on a nonblocking fd, parking on POLLOUT as
+/// needed — the must-deliver path (poll responses, violations).
+bool send_reliable(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  const auto deadline = steady_ms() + 2000.0;
+  while (off < bytes.size() && steady_ms() < deadline) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 100);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return off == bytes.size();
+}
+
+// Worker phases, switched by the driving thread.
+enum : int { kPhaseQuiet = 0, kPhaseLoad = 1, kPhaseRespond = 2, kPhaseExit = 3 };
+
+struct WorkerShared {
+  std::atomic<int> phase{kPhaseQuiet};
+  std::atomic<std::int64_t> violations_requested{0};
+  std::atomic<std::int64_t> violations_sent{0};
+  std::atomic<std::int64_t> poll_responses{0};
+};
+
+/// One worker owns a contiguous slice of the fleet's connections. During
+/// kPhaseLoad it streams pre-framed Heartbeat batches (finishing any
+/// partially-accepted batch first so frames never tear) and drains acks;
+/// during kPhaseRespond it only reads, answering PollRequests; the worker
+/// holding connection 0 also emits the requested LocalViolations.
+void worker_main(const std::vector<TcpConnection>* fleet,
+                 std::size_t begin, std::size_t end, WorkerShared* shared,
+                 std::int64_t round_base) {
+  constexpr int kBatchFrames = 32;
+  struct ConnState {
+    FrameReader reader;
+    std::vector<std::byte> batch;  // pre-framed heartbeat burst
+    std::size_t batch_off{0};      // bytes of the burst already accepted
+    bool batch_in_flight{false};
+  };
+  std::vector<ConnState> states(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto one = frame_payload(
+        net::encode(Message{Heartbeat{static_cast<MonitorId>(i), 1}}));
+    auto& batch = states[i - begin].batch;
+    for (int k = 0; k < kBatchFrames; ++k) {
+      batch.insert(batch.end(), one.begin(), one.end());
+    }
+  }
+
+  std::vector<std::byte> buf(65536);
+  // `decode_frames` is false on the load-phase fast path: everything the
+  // coordinator sends back then is a HeartbeatAck the bench only needs to
+  // drain, so frames are popped (keeping the stream aligned for the poll
+  // phase) but not decoded.
+  const auto drain_and_respond = [&](std::size_t i, bool decode_frames) {
+    const int fd = (*fleet)[i].fd();
+    ConnState& st = states[i - begin];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n <= 0) break;  // EAGAIN / EOF: nothing more buffered
+      st.reader.feed(
+          std::span<const std::byte>(buf.data(), static_cast<std::size_t>(n)));
+      while (const auto payload = st.reader.next()) {
+        if (!decode_frames) continue;
+        const auto message =
+            net::decode(std::span<const std::byte>(payload->data(),
+                                                   payload->size()));
+        if (!message) continue;
+        if (const auto* poll = std::get_if<PollRequest>(&*message)) {
+          PollResponse response{static_cast<MonitorId>(i), poll->poll_id,
+                                poll->tick, 1.0, poll->task};
+          send_reliable(fd, frame_payload(net::encode(Message{response})));
+          shared->poll_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  for (;;) {
+    const int phase = shared->phase.load(std::memory_order_acquire);
+    if (phase == kPhaseExit) return;
+    if (phase == kPhaseQuiet) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    if (phase == kPhaseLoad) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const int fd = (*fleet)[i].fd();
+        ConnState& st = states[i - begin];
+        if (!st.batch_in_flight) {
+          st.batch_off = 0;
+          st.batch_in_flight = true;
+        }
+        while (st.batch_off < st.batch.size()) {
+          const ssize_t n = ::send(fd, st.batch.data() + st.batch_off,
+                                   st.batch.size() - st.batch_off,
+                                   MSG_NOSIGNAL);
+          if (n > 0) {
+            st.batch_off += static_cast<std::size_t>(n);
+          } else {
+            break;  // EAGAIN: resume this batch next pass, no frame tear
+          }
+        }
+        if (st.batch_off == st.batch.size()) st.batch_in_flight = false;
+        drain_and_respond(i, /*decode_frames=*/false);
+      }
+      continue;
+    }
+    // kPhaseRespond: read-only duty cycle plus the violation trigger.
+    if (begin == 0 && shared->violations_sent.load(std::memory_order_relaxed) <
+                          shared->violations_requested.load(
+                              std::memory_order_relaxed)) {
+      const std::int64_t round =
+          shared->violations_sent.fetch_add(1, std::memory_order_relaxed);
+      const LocalViolation violation{
+          0, static_cast<Tick>(round_base + round * 100), 1000.0};
+      send_reliable((*fleet)[0].fd(),
+                    frame_payload(net::encode(Message{violation})));
+    }
+    for (std::size_t i = begin; i < end; ++i) {
+      drain_and_respond(i, /*decode_frames=*/true);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+/// Runs one fleet size on one event-loop mode end to end.
+std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
+                                   const BenchConfig& cfg) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = connections;
+  copt.global_threshold = 5.0;
+  copt.error_allowance = 0.03;
+  copt.poll_timeout_ms = 4000;
+  copt.idle_timeout_ms = 600000;
+  copt.heartbeat_timeout_ms = 600000;  // the fleet stays ACTIVE while quiet
+  copt.staleness_bound_ms = 600000;
+  copt.poll_loop = poll_loop;
+  net::CoordinatorNode coordinator(copt);
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  clockid_t coord_cpu{};
+  if (pthread_getcpuclockid(coord_thread.native_handle(), &coord_cpu) != 0) {
+    std::fprintf(stderr, "bench net: pthread_getcpuclockid failed\n");
+  }
+
+  // Join the fleet: Hello + one Heartbeat per connection, then block on the
+  // ack so every session is provably bound before any clock starts.
+  std::vector<TcpConnection> fleet;
+  fleet.reserve(connections);
+  bool setup_ok = true;
+  for (std::size_t i = 0; i < connections && setup_ok; ++i) {
+    auto conn = TcpConnection::try_connect("127.0.0.1",
+                                                coordinator.port(), 2000);
+    if (!conn) {
+      std::fprintf(stderr, "bench net: connect %zu failed\n", i);
+      setup_ok = false;
+      break;
+    }
+    const auto id = static_cast<MonitorId>(i);
+    setup_ok = conn->send_all(frame_payload(net::encode(Message{Hello{id}}))) &&
+               conn->send_all(
+                   frame_payload(net::encode(Message{Heartbeat{id, 1}})));
+    fleet.push_back(std::move(*conn));
+  }
+  std::array<std::byte, 4096> buf;
+  for (std::size_t i = 0; i < fleet.size() && setup_ok; ++i) {
+    FrameReader reader;
+    bool acked = false;
+    const auto deadline = steady_ms() + 5000.0;
+    while (!acked && steady_ms() < deadline) {
+      pollfd pfd{fleet[i].fd(), POLLIN, 0};
+      ::poll(&pfd, 1, 100);
+      const auto n = fleet[i].recv_some(buf);
+      if (!n) continue;
+      if (*n == 0) break;
+      reader.feed(std::span<const std::byte>(buf.data(), *n));
+      while (const auto payload = reader.next()) {
+        const auto message = net::decode(
+            std::span<const std::byte>(payload->data(), payload->size()));
+        if (message && std::holds_alternative<HeartbeatAck>(*message)) {
+          acked = true;
+        }
+      }
+    }
+    if (!acked) {
+      std::fprintf(stderr, "bench net: no heartbeat ack on conn %zu\n", i);
+      setup_ok = false;
+    }
+  }
+  if (!setup_ok) {
+    coordinator.request_stop();
+    coord_thread.join();
+    return std::nullopt;
+  }
+  for (auto& conn : fleet) conn.set_nonblocking(true);
+
+  WorkerShared shared;
+  const std::size_t worker_count = std::min<std::size_t>(
+      4, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  std::vector<std::thread> workers;
+  const std::size_t chunk = (connections + worker_count - 1) / worker_count;
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(connections, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back(worker_main, &fleet, begin, end, &shared,
+                         static_cast<std::int64_t>(connections));
+  }
+
+  ModeResult result;
+
+  // Phase 1: idle. Nothing moves; only the event loop's own overhead runs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));  // settle
+  const auto idle_w0 = coordinator.loop_wakeups();
+  const double idle_c0 = thread_cpu_ms(coord_cpu);
+  const double idle_t0 = steady_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.idle_ms));
+  const double idle_dt = (steady_ms() - idle_t0) / 1000.0;
+  result.idle_wakeups_per_sec =
+      static_cast<double>(coordinator.loop_wakeups() - idle_w0) / idle_dt;
+  result.idle_cpu_ms = thread_cpu_ms(coord_cpu) - idle_c0;
+
+  // Phase 2: load. Workers stream heartbeat batches; count what the
+  // coordinator actually handled.
+  const auto load_m0 = coordinator.messages_received();
+  const double load_c0 = thread_cpu_ms(coord_cpu);
+  const double load_t0 = steady_ms();
+  shared.phase.store(kPhaseLoad, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.load_ms));
+  shared.phase.store(kPhaseRespond, std::memory_order_release);
+  const double load_dt = (steady_ms() - load_t0) / 1000.0;
+  result.load_msgs_per_sec =
+      static_cast<double>(coordinator.messages_received() - load_m0) / load_dt;
+  result.load_cpu_ms = thread_cpu_ms(coord_cpu) - load_c0;
+
+  // Let the coordinator digest the load phase's in-flight backlog before
+  // timing polls, so settle latency measures the poll, not the queue.
+  {
+    auto last = coordinator.messages_received();
+    const auto quiesce_deadline = steady_ms() + 5000.0;
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto now_count = coordinator.messages_received();
+      if (now_count == last || steady_ms() > quiesce_deadline) break;
+      last = now_count;
+    }
+  }
+
+  // Phase 3: global polls. One violation per round; the whole fleet
+  // answers; settle latency comes from the coordinator's own accounting.
+  for (int round = 0; round < cfg.polls; ++round) {
+    const auto settled_before = coordinator.poll_settle_ms().size();
+    shared.violations_requested.fetch_add(1, std::memory_order_relaxed);
+    const auto deadline = steady_ms() + 8000.0;
+    while (coordinator.poll_settle_ms().size() == settled_before &&
+           steady_ms() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto settles = coordinator.poll_settle_ms();
+  result.settle_p50_ms = percentile(settles, 50.0);
+  result.settle_p99_ms = percentile(settles, 99.0);
+  if (settles.size() < static_cast<std::size_t>(cfg.polls)) {
+    std::fprintf(stderr, "bench net: only %zu/%d polls settled (N=%zu)\n",
+                 settles.size(), cfg.polls, connections);
+  }
+
+  shared.phase.store(kPhaseExit, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  coordinator.request_stop();
+  coord_thread.join();
+  return result;
+}
+
+struct SizeRow {
+  std::size_t connections{0};
+  ModeResult legacy;
+  ModeResult reactor;
+
+  double idle_wakeup_reduction() const {
+    // +1 on both sides: an idle reactor can legitimately record zero turns.
+    return (legacy.idle_wakeups_per_sec + 1.0) /
+           (reactor.idle_wakeups_per_sec + 1.0);
+  }
+  double throughput_speedup() const {
+    return legacy.load_msgs_per_sec > 0.0
+               ? reactor.load_msgs_per_sec / legacy.load_msgs_per_sec
+               : 0.0;
+  }
+};
+
+void write_json(const std::vector<SizeRow>& rows, bool quick) {
+  std::FILE* f = std::fopen("BENCH_net.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench net: cannot write BENCH_net.json\n");
+    return;
+  }
+  std::fprintf(f, "{\"bench\":\"net\",\"quick\":%s,\"sizes\":[",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SizeRow& row = rows[i];
+    const auto mode_json = [&](const char* name, const ModeResult& m) {
+      std::fprintf(f,
+                   "\"%s\":{\"idle_wakeups_per_sec\":%.3f,"
+                   "\"idle_cpu_ms\":%.3f,\"load_msgs_per_sec\":%.1f,"
+                   "\"load_cpu_ms\":%.3f,\"settle_p50_ms\":%.3f,"
+                   "\"settle_p99_ms\":%.3f}",
+                   name, m.idle_wakeups_per_sec, m.idle_cpu_ms,
+                   m.load_msgs_per_sec, m.load_cpu_ms, m.settle_p50_ms,
+                   m.settle_p99_ms);
+    };
+    std::fprintf(f, "%s{\"connections\":%zu,", i == 0 ? "" : ",",
+                 row.connections);
+    mode_json("legacy", row.legacy);
+    std::fprintf(f, ",");
+    mode_json("reactor", row.reactor);
+    std::fprintf(f,
+                 ",\"idle_wakeup_reduction\":%.2f,"
+                 "\"throughput_speedup\":%.2f}",
+                 row.idle_wakeup_reduction(), row.throughput_speedup());
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+int bench_main() {
+  const bool quick = bench::quick();
+  BenchConfig cfg;
+  if (quick) {
+    cfg.sizes = {64, 128};
+    cfg.idle_ms = 300;
+    cfg.load_ms = 400;
+    cfg.polls = 2;
+  } else {
+    cfg.sizes = {250, 1000, 4000};
+  }
+
+  // Each fleet size needs ~2N fds in this process (client + server side of
+  // every loopback connection). Raise the soft limit to the hard limit and
+  // skip sizes that still don't fit.
+  rlimit nofile{};
+  if (getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+    nofile.rlim_cur = nofile.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &nofile);
+    getrlimit(RLIMIT_NOFILE, &nofile);
+  }
+
+  bench::print_header(
+      "bench net scale: epoll reactor vs legacy poll(2) loop",
+      "DESIGN.md §12 — event-driven I/O, batched writev, timer wheel");
+  bench::print_row({"connections", "mode", "idle wps", "idle cpu",
+                    "msgs/sec", "p50 ms", "p99 ms"});
+
+  std::vector<SizeRow> rows;
+  for (const std::size_t n : cfg.sizes) {
+    if (2 * n + 64 > nofile.rlim_cur) {
+      std::fprintf(stderr,
+                   "bench net: skipping N=%zu (RLIMIT_NOFILE=%llu)\n", n,
+                   static_cast<unsigned long long>(nofile.rlim_cur));
+      continue;
+    }
+    SizeRow row;
+    row.connections = n;
+    const auto legacy = run_mode(n, /*poll_loop=*/1, cfg);
+    const auto reactor = run_mode(n, /*poll_loop=*/0, cfg);
+    if (!legacy || !reactor) {
+      std::fprintf(stderr, "bench net: N=%zu setup failed, skipping\n", n);
+      continue;
+    }
+    row.legacy = *legacy;
+    row.reactor = *reactor;
+    bench::print_row({std::to_string(n), "legacy",
+                      bench::fmt(row.legacy.idle_wakeups_per_sec, 1),
+                      bench::fmt(row.legacy.idle_cpu_ms, 1),
+                      bench::fmt(row.legacy.load_msgs_per_sec, 0),
+                      bench::fmt(row.legacy.settle_p50_ms, 2),
+                      bench::fmt(row.legacy.settle_p99_ms, 2)});
+    bench::print_row({"", "reactor",
+                      bench::fmt(row.reactor.idle_wakeups_per_sec, 1),
+                      bench::fmt(row.reactor.idle_cpu_ms, 1),
+                      bench::fmt(row.reactor.load_msgs_per_sec, 0),
+                      bench::fmt(row.reactor.settle_p50_ms, 2),
+                      bench::fmt(row.reactor.settle_p99_ms, 2)});
+    std::printf("  -> idle wakeup reduction %.1fx, throughput %.2fx\n",
+                row.idle_wakeup_reduction(), row.throughput_speedup());
+    rows.push_back(row);
+  }
+
+  write_json(rows, quick);
+  std::printf("\n-> BENCH_net.json (%zu sizes)\n", rows.size());
+  if (!quick) {
+    // Acceptance gate at N = 1000: >= 5x idle reduction, >= 2x throughput.
+    for (const SizeRow& row : rows) {
+      if (row.connections != 1000) continue;
+      std::printf("acceptance (N=1000): idle %.1fx (target 5x), "
+                  "throughput %.2fx (target 2x)\n",
+                  row.idle_wakeup_reduction(), row.throughput_speedup());
+    }
+  }
+  return rows.empty() ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace volley
+
+int main() { return volley::bench_main(); }

@@ -2,8 +2,10 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <array>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -33,6 +35,14 @@ ChaosProxy::ChaosProxy(const ChaosProxyOptions& options)
 
 void ChaosProxy::cut(Link& link) {
   if (link.closed) return;
+  if (reactor_mode_) {
+    if (link.client.valid()) reactor_.remove_fd(link.client.fd());
+    if (link.upstream.valid()) reactor_.remove_fd(link.upstream.fd());
+    if (link.timer_armed) {
+      reactor_.cancel_timer(link.timer);
+      link.timer_armed = false;
+    }
+  }
   link.client.close();
   link.upstream.close();
   link.closed = true;
@@ -135,8 +145,19 @@ void ChaosProxy::flush(Link& link, std::int64_t now) {
 }
 
 void ChaosProxy::run() {
+  if (resolve_poll_loop(options_.poll_loop)) {
+    run_poll_loop();
+  } else {
+    run_reactor();
+  }
+}
+
+// The pre-reactor 5 ms busy-poll, preserved as the behavioral baseline
+// behind VOLLEY_POLL_LOOP (plus the loop_wakeups_ count the tests compare).
+void ChaosProxy::run_poll_loop() {
   std::array<std::byte, 8192> buf;
   while (!stop_.load()) {
+    loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
     const std::size_t link_count = links_.size();
@@ -201,6 +222,111 @@ void ChaosProxy::run() {
                   [](const std::unique_ptr<Link>& l) { return l->closed; });
   }
   for (auto& link : links_) cut(*link);
+}
+
+// ---------------------------------------------------------------------------
+// Reactor path: byte flow and fault injection are identical; only the
+// waiting changes. An idle proxy (no queued frames) sleeps in epoll with no
+// timers armed — zero wakeups until a byte arrives — and a held (delayed or
+// split) frame arms one timer at exactly its due time.
+
+void ChaosProxy::run_reactor() {
+  reactor_mode_ = true;
+  reactor_.add_fd(listener_.fd(),
+                  [this](std::uint32_t) { reactor_on_accept(); });
+  while (!stop_.load()) {
+    reactor_.run_once(-1);
+    loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    // Closed links had their fds and timer deregistered in cut(); their
+    // storage is only reclaimed here, between dispatch batches.
+    std::erase_if(links_,
+                  [](const std::unique_ptr<Link>& l) { return l->closed; });
+  }
+  reactor_.remove_fd(listener_.fd());
+  for (auto& link : links_) cut(*link);
+  reactor_mode_ = false;
+}
+
+void ChaosProxy::reactor_on_accept() {
+  while (auto client = listener_.accept()) {
+    auto upstream = TcpConnection::try_connect(
+        options_.upstream_host, options_.upstream_port,
+        options_.upstream_connect_timeout_ms);
+    if (!upstream) {
+      VLOG_WARN("chaos", "upstream refused; dropping client");
+      continue;
+    }
+    client->set_nonblocking(true);
+    upstream->set_nonblocking(true);
+    auto link = std::make_unique<Link>();
+    link->client = std::move(*client);
+    link->upstream = std::move(*upstream);
+    Link* raw = link.get();
+    // Raw captures are safe: cut() deregisters both fds and the timer
+    // before the link can be garbage-collected.
+    reactor_.add_fd(raw->client.fd(), [this, raw](std::uint32_t ev) {
+      reactor_on_link(*raw, /*from_client=*/true, ev);
+    });
+    reactor_.add_fd(raw->upstream.fd(), [this, raw](std::uint32_t ev) {
+      reactor_on_link(*raw, /*from_client=*/false, ev);
+    });
+    links_.push_back(std::move(link));
+    ++stats_.connections;
+  }
+}
+
+void ChaosProxy::reactor_on_link(Link& link, bool from_client,
+                                 std::uint32_t events) {
+  if (link.closed || !Reactor::readable(events)) return;
+  std::array<std::byte, 8192> buf;
+  TcpConnection& in = from_client ? link.client : link.upstream;
+  while (!link.closed) {
+    const auto n = in.recv_some(buf);
+    if (!n) break;  // drained to EAGAIN
+    const std::int64_t now = now_ms();
+    if (*n == 0) {
+      // One side hung up: flush what is queued, then mirror the close.
+      flush(link, now + (1 << 20));
+      cut(link);
+      return;
+    }
+    ingest(link, from_client, std::span<const std::byte>(buf.data(), *n),
+           now);
+  }
+  if (!link.closed) {
+    flush(link, now_ms());
+    schedule_link_timer(link);
+  }
+}
+
+void ChaosProxy::schedule_link_timer(Link& link) {
+  std::optional<std::int64_t> due;
+  if (!link.to_upstream.empty()) due = link.to_upstream.front().due_ms;
+  if (!link.to_client.empty()) {
+    const std::int64_t d = link.to_client.front().due_ms;
+    if (!due || d < *due) due = d;
+  }
+  if (!due || link.closed) {
+    if (link.timer_armed) {
+      reactor_.cancel_timer(link.timer);
+      link.timer_armed = false;
+    }
+    return;
+  }
+  // An armed earlier-or-equal deadline only fires early; the callback
+  // re-evaluates and re-arms, so keep it.
+  if (link.timer_armed && link.timer_due <= *due) return;
+  if (link.timer_armed) reactor_.cancel_timer(link.timer);
+  Link* raw = &link;
+  const std::int64_t delay = std::max<std::int64_t>(*due - now_ms(), 0) + 1;
+  link.timer = reactor_.add_timer(delay, [this, raw] {
+    raw->timer_armed = false;
+    if (raw->closed) return;
+    flush(*raw, now_ms());
+    schedule_link_timer(*raw);
+  });
+  link.timer_armed = true;
+  link.timer_due = *due;
 }
 
 }  // namespace volley::net

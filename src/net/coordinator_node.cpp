@@ -2,6 +2,7 @@
 
 #include <poll.h>
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <stdexcept>
@@ -157,6 +158,17 @@ bool CoordinatorNode::send_to(MonitorId id, Session& session,
                               const Message& message) {
   if (!session.connected) return false;
   const auto payload = encode(message);
+  if (reactor_mode_) {
+    // Queue; frames coalesce into one writev at the next flush_dirty() (or
+    // the EPOLLOUT drain if the kernel buffer is full). Peer loss surfaces
+    // there or on the read side — never a blocking write here.
+    session.out.enqueue(frame_payload(payload));
+    if (!session.dirty) {
+      session.dirty = true;
+      dirty_sessions_.push_back(id);
+    }
+    return true;
+  }
   if (session.conn.send_all(frame_payload(payload))) return true;
   disconnect_session(id, session);
   return false;
@@ -182,6 +194,23 @@ void CoordinatorNode::start_poll(TaskId task, TaskRuntime& rt, Tick tick) {
   rt.poll_values.clear();
   rt.poll_started_ms = now_ms();
   ++global_polls_;
+  if (reactor_mode_) {
+    // Timer-wheel deadline instead of the legacy per-turn scan. The
+    // captured poll id guards against firing on a later poll of the same
+    // task: finish_poll cancels, but a timer mid-dispatch can still run.
+    const std::uint64_t poll_id = *rt.active_poll;
+    rt.poll_timer =
+        reactor_.add_timer(options_.poll_timeout_ms, [this, task, poll_id] {
+          auto it = tasks_.find(task);
+          if (it == tasks_.end()) return;
+          TaskRuntime& rt2 = it->second;
+          if (!rt2.active_poll || *rt2.active_poll != poll_id) return;
+          VLOG_WARN("coordinator", "global poll for task ", task,
+                    " timed out with ", rt2.poll_values.size(), "/",
+                    options_.monitors, " responses");
+          finish_poll(task, rt2);
+        });
+  }
   broadcast(PollRequest{tick, *rt.active_poll, task});
   check_poll_completion(task, rt);  // every reachable monitor may be gone
 }
@@ -226,6 +255,15 @@ void CoordinatorNode::finish_poll(TaskId task, TaskRuntime& rt) {
     NetCoordinatorMetrics::get().alerts->inc();
     obs::trace().record(obs::TraceKind::kAlertRaised, rt.active_poll_tick,
                         task, sum, threshold);
+  }
+  {
+    std::lock_guard<std::mutex> lock(poll_settle_mu_);
+    poll_settle_ms_.push_back(
+        static_cast<double>(now_ms() - rt.poll_started_ms));
+  }
+  if (rt.poll_timer != 0) {
+    reactor_.cancel_timer(rt.poll_timer);
+    rt.poll_timer = 0;
   }
   rt.active_poll.reset();
   rt.poll_values.clear();
@@ -280,6 +318,8 @@ void CoordinatorNode::mark_suspect(MonitorId id, Session& session) {
                       liveness_code(MonitorLiveness::kActive));
   VLOG_WARN("coordinator", "monitor ", id, " is suspect");
   check_all_poll_completions();
+  // The new suspect's dead-deadline may now be the earliest liveness event.
+  if (reactor_mode_) schedule_liveness_timer();
 }
 
 void CoordinatorNode::declare_dead(MonitorId id, Session& session) {
@@ -432,7 +472,12 @@ void CoordinatorNode::serve_control(TcpConnection& conn,
 }
 
 void CoordinatorNode::disconnect_session(MonitorId id, Session& session) {
+  if (reactor_mode_ && session.conn.valid()) {
+    reactor_.remove_fd(session.conn.fd());
+  }
   session.conn.close();
+  session.out.clear();  // undeliverable now; a reconnect resyncs instead
+  session.write_blocked = false;
   session.connected = false;
   if (!session.done) mark_suspect(id, session);
 }
@@ -481,6 +526,11 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     Session& session = it->second;
     const bool was_dead = session.state == MonitorLiveness::kDead;
     const bool was_down = session.state != MonitorLiveness::kActive;
+    if (reactor_mode_ && session.conn.valid()) {
+      reactor_.remove_fd(session.conn.fd());
+    }
+    session.out.clear();  // frames addressed to the old connection
+    session.write_blocked = false;
     session.conn.close();
     session.conn = std::move(pending.conn);
     session.reader = std::move(pending.reader);
@@ -522,6 +572,7 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
 
 void CoordinatorNode::handle_message(MonitorId id, Session& session,
                                      const Message& message) {
+  messages_received_.fetch_add(1, std::memory_order_relaxed);
   if (session.state == MonitorLiveness::kSuspect) {
     // Any traffic from a suspect proves it alive again.
     session.state = MonitorLiveness::kActive;
@@ -587,10 +638,21 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
 }
 
 void CoordinatorNode::run() {
+  if (resolve_poll_loop(options_.poll_loop)) {
+    run_poll_loop();
+  } else {
+    run_reactor();
+  }
+}
+
+// The pre-reactor event loop, preserved as the behavioral baseline behind
+// VOLLEY_POLL_LOOP (plus the loop_wakeups_ count the bench compares).
+void CoordinatorNode::run_poll_loop() {
   std::array<std::byte, 8192> buf;
   std::int64_t last_activity_ms = now_ms();
 
   while (!stop_.load()) {
+    loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
     if (all_joined() && finished_sessions() >= options_.monitors) break;
 
     // fds: [0] listener, then pending connections, then live sessions.
@@ -731,6 +793,294 @@ void CoordinatorNode::run() {
   // request_stop() simulates a crash: vanish without a Shutdown so monitors
   // exercise their reconnect path against a successor.
   if (!stop_.load()) broadcast(Shutdown{});
+}
+
+// ---------------------------------------------------------------------------
+// Reactor path: same protocol handlers, event-driven dispatch. A quiet
+// coordinator sleeps in epoll until the next frame or the next due deadline
+// (liveness sweep, poll timeout, pending-Hello drop, idle guard) instead of
+// scanning every session 50x/s.
+
+void CoordinatorNode::run_reactor() {
+  reactor_mode_ = true;
+  idle_abort_ = false;
+  last_activity_ms_ = now_ms();
+  reactor_.add_fd(listener_.fd(),
+                  [this](std::uint32_t) { reactor_on_accept(); });
+  schedule_idle_timer();
+
+  while (!stop_.load()) {
+    if (all_joined() && finished_sessions() >= options_.monitors) break;
+    if (idle_abort_) break;
+    reactor_.run_once(-1);
+    loop_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    // Deferred egress: every frame queued during this turn's dispatch
+    // (acks, attaches, poll fan-out) coalesces into one writev per session.
+    flush_dirty();
+  }
+  reactor_.remove_fd(listener_.fd());
+  for (const auto& [fd, pending] : reactor_pending_) {
+    (void)pending;
+    reactor_.remove_fd(fd);
+  }
+  reactor_pending_.clear();
+
+  if (!stop_.load()) {
+    broadcast(Shutdown{});
+    // The loop is exiting, so drain the farewell synchronously.
+    for (auto& [id, session] : sessions_) {
+      (void)id;
+      if (session.connected && !session.out.empty()) {
+        session.out.flush_blocking(session.conn.fd(),
+                                   options_.heartbeat_timeout_ms);
+      }
+    }
+  }
+  for (auto& [id, session] : sessions_) {
+    (void)id;
+    if (session.conn.valid()) reactor_.remove_fd(session.conn.fd());
+  }
+  dirty_sessions_.clear();
+  reactor_mode_ = false;
+}
+
+void CoordinatorNode::reactor_on_accept() {
+  while (auto conn = listener_.accept()) {
+    conn->set_nonblocking(true);
+    const int fd = conn->fd();
+    PendingConn pending;
+    pending.conn = std::move(*conn);
+    pending.since_ms = now_ms();
+    reactor_pending_.emplace(fd, std::move(pending));
+    reactor_.add_fd(fd, [this, fd](std::uint32_t events) {
+      reactor_on_pending(fd, events);
+    });
+    last_activity_ms_ = now_ms();
+  }
+  schedule_pending_timer();
+}
+
+void CoordinatorNode::reactor_on_pending(int fd, std::uint32_t events) {
+  if (!Reactor::readable(events)) return;
+  auto it = reactor_pending_.find(fd);
+  if (it == reactor_pending_.end()) return;
+  PendingConn& pending = it->second;
+  std::array<std::byte, 8192> buf;
+  bool drop = false;
+  bool bound = false;
+  Hello hello{};
+  while (!bound && !drop) {
+    const auto n = pending.conn.recv_some(buf);
+    if (!n) break;  // drained
+    if (*n == 0) {
+      drop = true;
+      break;
+    }
+    last_activity_ms_ = now_ms();
+    pending.reader.feed(std::span<const std::byte>(buf.data(), *n));
+    while (auto payload = pending.reader.next()) {
+      const auto message = decode(*payload);
+      if (!message) continue;
+      if (const auto* h = std::get_if<Hello>(&*message)) {
+        hello = *h;
+        bound = true;
+        break;
+      }
+      if (const auto* stats = std::get_if<StatsRequest>(&*message)) {
+        serve_stats(pending.conn, *stats);
+        drop = true;
+        break;
+      }
+      if (is_control_request(*message)) {
+        serve_control(pending.conn, *message);
+        drop = true;
+        break;
+      }
+      VLOG_WARN("coordinator", "dropping pre-Hello frame");
+    }
+  }
+  if (bound) {
+    PendingConn taken = std::move(it->second);
+    reactor_pending_.erase(it);
+    bind_session(std::move(taken), hello);
+    const auto sit = sessions_.find(hello.monitor);
+    if (sit != sessions_.end() && sit->second.connected &&
+        sit->second.conn.fd() == fd) {
+      const MonitorId id = hello.monitor;
+      reactor_.update_handler(fd, [this, id](std::uint32_t ev) {
+        reactor_on_session(id, ev);
+      });
+      schedule_liveness_timer();
+    } else if (reactor_.watching(fd)) {
+      // bind_session refused (extra monitor) or tore the session down while
+      // draining its buffered frames; the fd is gone either way.
+      reactor_.remove_fd(fd);
+    }
+  } else if (drop) {
+    reactor_.remove_fd(fd);
+    reactor_pending_.erase(it);
+  }
+}
+
+void CoordinatorNode::reactor_on_session(MonitorId id, std::uint32_t events) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (!session.connected) return;
+  if (Reactor::writable(events) && !session.out.empty()) {
+    flush_session(id, session);
+    if (!session.connected) return;
+  }
+  if (!Reactor::readable(events)) return;
+  // Batched ingress: drain the socket and decode every complete frame in
+  // one dispatch, so a burst costs one wakeup instead of one per frame.
+  std::array<std::byte, 8192> buf;
+  while (session.connected) {
+    const auto n = session.conn.recv_some(buf);
+    if (!n) break;  // drained to EAGAIN
+    if (*n == 0) {
+      disconnect_session(id, session);
+      return;
+    }
+    const std::int64_t now = now_ms();
+    last_activity_ms_ = now;
+    session.last_seen_ms = now;
+    session.reader.feed(std::span<const std::byte>(buf.data(), *n));
+    while (auto payload = session.reader.next()) {
+      const auto message = decode(*payload);
+      if (!message) {
+        VLOG_WARN("coordinator", "dropping malformed frame");
+        continue;
+      }
+      handle_message(id, session, *message);
+      if (!session.connected) return;
+    }
+  }
+}
+
+void CoordinatorNode::flush_session(MonitorId id, Session& session) {
+  const int fd = session.conn.fd();
+  switch (session.out.flush(fd)) {
+    case FrameWriter::FlushResult::kDrained:
+      if (session.write_blocked) {
+        reactor_.set_want_write(fd, false);
+        session.write_blocked = false;
+      }
+      break;
+    case FrameWriter::FlushResult::kBlocked:
+      if (!session.write_blocked) {
+        reactor_.set_want_write(fd, true);  // EAGAIN backpressure
+        session.write_blocked = true;
+      }
+      break;
+    case FrameWriter::FlushResult::kPeerGone:
+      disconnect_session(id, session);
+      break;
+  }
+}
+
+void CoordinatorNode::flush_dirty() {
+  // send_to may mark more sessions dirty while flushing (disconnect ->
+  // suspect -> reallocation pushes); index iteration covers appends.
+  for (std::size_t i = 0; i < dirty_sessions_.size(); ++i) {
+    const MonitorId id = dirty_sessions_[i];
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    Session& session = it->second;
+    session.dirty = false;
+    if (!session.connected || session.out.empty()) continue;
+    flush_session(id, session);
+  }
+  dirty_sessions_.clear();
+}
+
+void CoordinatorNode::liveness_sweep() {
+  const std::int64_t now = now_ms();
+  for (auto& [id, session] : sessions_) {
+    if (session.done) continue;
+    if (session.state == MonitorLiveness::kActive &&
+        now - session.last_seen_ms > options_.heartbeat_timeout_ms) {
+      mark_suspect(id, session);
+    } else if (session.state == MonitorLiveness::kSuspect &&
+               now - session.suspect_since_ms > options_.staleness_bound_ms) {
+      declare_dead(id, session);
+    }
+  }
+  schedule_liveness_timer();
+}
+
+void CoordinatorNode::schedule_liveness_timer() {
+  // ONE coalesced timer for the whole fleet, armed at the earliest
+  // suspect/dead deadline — per-session timers would mean O(sessions)
+  // wakeups per timeout window, which is exactly the idle-CPU cost the
+  // reactor exists to kill. A heartbeat that arrives after arming merely
+  // makes the sweep a no-op that re-arms later.
+  std::optional<std::int64_t> min_due;
+  for (const auto& [id, session] : sessions_) {
+    (void)id;
+    if (session.done || session.state == MonitorLiveness::kDead) continue;
+    const std::int64_t due =
+        session.state == MonitorLiveness::kActive
+            ? session.last_seen_ms + options_.heartbeat_timeout_ms
+            : session.suspect_since_ms + options_.staleness_bound_ms;
+    if (!min_due || due < *min_due) min_due = due;
+  }
+  if (!min_due) {
+    if (liveness_timer_armed_) {
+      reactor_.cancel_timer(liveness_timer_);
+      liveness_timer_armed_ = false;
+    }
+    return;
+  }
+  // An already-armed earlier (or equal) deadline only fires early — fine.
+  if (liveness_timer_armed_ && liveness_timer_due_ <= *min_due) return;
+  if (liveness_timer_armed_) reactor_.cancel_timer(liveness_timer_);
+  const std::int64_t delay = std::max<std::int64_t>(*min_due - now_ms(), 0) + 1;
+  liveness_timer_ = reactor_.add_timer(delay, [this] {
+    liveness_timer_armed_ = false;
+    liveness_sweep();
+  });
+  liveness_timer_armed_ = true;
+  liveness_timer_due_ = *min_due;
+}
+
+void CoordinatorNode::schedule_pending_timer() {
+  if (pending_timer_armed_ || reactor_pending_.empty()) return;
+  std::int64_t min_since = reactor_pending_.begin()->second.since_ms;
+  for (const auto& [fd, pending] : reactor_pending_) {
+    (void)fd;
+    min_since = std::min(min_since, pending.since_ms);
+  }
+  const std::int64_t due = min_since + options_.heartbeat_timeout_ms;
+  const std::int64_t delay = std::max<std::int64_t>(due - now_ms(), 0) + 1;
+  pending_timer_ = reactor_.add_timer(delay, [this] {
+    pending_timer_armed_ = false;
+    const std::int64_t now = now_ms();
+    for (auto it = reactor_pending_.begin(); it != reactor_pending_.end();) {
+      // A connection silent for a whole heartbeat timeout never said Hello.
+      if (now - it->second.since_ms > options_.heartbeat_timeout_ms) {
+        reactor_.remove_fd(it->first);
+        it = reactor_pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    schedule_pending_timer();
+  });
+  pending_timer_armed_ = true;
+}
+
+void CoordinatorNode::schedule_idle_timer() {
+  const std::int64_t due = last_activity_ms_ + options_.idle_timeout_ms;
+  const std::int64_t delay = std::max<std::int64_t>(due - now_ms(), 0) + 1;
+  reactor_.add_timer(delay, [this] {
+    if (now_ms() - last_activity_ms_ > options_.idle_timeout_ms) {
+      VLOG_ERROR("coordinator", "session idle too long; aborting");
+      idle_abort_ = true;
+    } else {
+      schedule_idle_timer();  // activity moved the deadline; chase it
+    }
+  });
 }
 
 }  // namespace volley::net

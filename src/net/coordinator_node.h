@@ -1,7 +1,9 @@
 // A runnable Volley coordinator speaking the wire protocol over TCP.
 //
-// The coordinator accepts the expected number of monitors, then runs a
-// poll(2)-based event loop:
+// The coordinator accepts the expected number of monitors, then runs an
+// event loop — the epoll reactor (net/reactor.h: readiness dispatch, batched
+// writev egress, timer-wheel deadlines) by default, or the legacy 20 ms
+// poll(2) loop under VOLLEY_POLL_LOOP — handling:
 //  * LocalViolation  -> start a global poll for the violated task (coincident
 //    violations while that task's poll is in flight are absorbed by it, as in
 //    the paper: one global poll answers "is the global condition violated
@@ -52,6 +54,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,6 +65,7 @@
 #include "core/error_allocation.h"
 #include "net/framing.h"
 #include "net/messages.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 
 namespace volley::net {
@@ -79,6 +83,9 @@ struct CoordinatorNodeOptions {
   /// When non-empty, the task registry persists to `<path>.snapshot` /
   /// `<path>.journal` and is restored from them on construction.
   std::string registry_path{};
+  /// Event-loop selection: -1 follows VOLLEY_POLL_LOOP, 0 forces the epoll
+  /// reactor, 1 forces the legacy poll(2) loop (benches run both in-process).
+  int poll_loop{-1};
 };
 
 struct GlobalAlert {
@@ -117,7 +124,25 @@ class CoordinatorNode {
   /// Asks a running coordinator to stop at the next loop turn *without*
   /// broadcasting Shutdown — connections are simply dropped, exactly like a
   /// coordinator crash. Monitors are expected to reconnect to a successor.
-  void request_stop() { stop_.store(true); }
+  void request_stop() {
+    stop_.store(true);
+    reactor_.wakeup();  // a sleeping reactor loop re-checks stop_ now
+  }
+
+  // Live counters, readable from other threads while run() is in flight
+  // (bench_net_scale samples them across its idle/load windows).
+  std::int64_t loop_wakeups() const {
+    return loop_wakeups_.load(std::memory_order_relaxed);
+  }
+  std::int64_t messages_received() const {
+    return messages_received_.load(std::memory_order_relaxed);
+  }
+  /// Violation-report -> poll-settle latencies (ms), one entry per finished
+  /// global poll.
+  std::vector<double> poll_settle_ms() const {
+    std::lock_guard<std::mutex> lock(poll_settle_mu_);
+    return poll_settle_ms_;
+  }
 
   // Results, valid after run() returns.
   std::int64_t global_polls() const { return global_polls_; }
@@ -140,9 +165,12 @@ class CoordinatorNode {
   struct Session {
     TcpConnection conn;
     FrameReader reader;
+    FrameWriter out;  // reactor path: batched egress queue
     MonitorLiveness state{MonitorLiveness::kActive};
     bool done{false};
     bool connected{true};
+    bool write_blocked{false};  // EPOLLOUT armed, waiting for drain
+    bool dirty{false};          // queued frames awaiting post-dispatch flush
     std::int64_t last_seen_ms{0};
     std::int64_t suspect_since_ms{0};
     /// Freshest PollResponse per task (stale fallback).
@@ -168,6 +196,7 @@ class CoordinatorNode {
     Tick active_poll_tick{0};
     std::map<MonitorId, double> poll_values;
     std::int64_t poll_started_ms{0};
+    Reactor::TimerId poll_timer{0};         // reactor path: timeout timer
     std::optional<Tick> pending_poll_tick;  // violation before full house
 
     // Stats-report state.
@@ -194,6 +223,23 @@ class CoordinatorNode {
   TaskAttach make_attach(const TaskRuntime& rt, MonitorId id) const;
   void push_attach_all(const TaskRuntime& rt);
 
+  // Event loops: run() picks per options_.poll_loop / VOLLEY_POLL_LOOP.
+  void run_poll_loop();  // the legacy poll(2) loop, preserved verbatim
+  void run_reactor();
+
+  // Reactor-path plumbing.
+  void reactor_on_accept();
+  void reactor_on_pending(int fd, std::uint32_t events);
+  void reactor_on_session(MonitorId id, std::uint32_t events);
+  void flush_session(MonitorId id, Session& session);
+  void flush_dirty();
+  void liveness_sweep();
+  /// (Re)arms the single coalesced liveness timer at the earliest
+  /// suspect/dead deadline across all sessions.
+  void schedule_liveness_timer();
+  void schedule_pending_timer();
+  void schedule_idle_timer();
+
   void start_poll(TaskId task, TaskRuntime& rt, Tick tick);
   void check_poll_completion(TaskId task, TaskRuntime& rt);
   void check_all_poll_completions();
@@ -213,7 +259,19 @@ class CoordinatorNode {
   CoordinatorNodeOptions options_;
   TcpListener listener_;
   std::map<MonitorId, Session> sessions_;
-  std::vector<PendingConn> pending_;
+  std::vector<PendingConn> pending_;  // legacy loop's pre-Hello connections
+
+  Reactor reactor_;
+  bool reactor_mode_{false};  // set for run()'s lifetime on the reactor path
+  std::map<int, PendingConn> reactor_pending_;  // keyed by fd (stable refs)
+  std::vector<MonitorId> dirty_sessions_;
+  std::int64_t last_activity_ms_{0};
+  bool idle_abort_{false};
+  Reactor::TimerId liveness_timer_{0};
+  bool liveness_timer_armed_{false};
+  std::int64_t liveness_timer_due_{0};
+  Reactor::TimerId pending_timer_{0};
+  bool pending_timer_armed_{false};
 
   control::TaskRegistry registry_;
   std::unique_ptr<control::RegistryStore> store_;
@@ -223,6 +281,10 @@ class CoordinatorNode {
   std::uint64_t next_poll_id_{1};  // unique across tasks
 
   std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> loop_wakeups_{0};
+  std::atomic<std::int64_t> messages_received_{0};
+  mutable std::mutex poll_settle_mu_;
+  std::vector<double> poll_settle_ms_;
   std::int64_t global_polls_{0};
   std::int64_t reallocations_{0};
   std::vector<GlobalAlert> alerts_;

@@ -126,6 +126,7 @@ void MonitorNode::drop_connection() {
   if (connected_) {
     VLOG_WARN("monitor", "lost coordinator link; entering degraded mode");
   }
+  if (reactor_mode_ && conn_.valid()) reactor_.remove_fd(conn_.fd());
   conn_.close();
   connected_ = false;
   reader_ = FrameReader{};
@@ -140,6 +141,11 @@ bool MonitorNode::try_attach_session(bool resume) {
   if (!conn) return false;
   conn->set_nonblocking(true);
   conn_ = std::move(*conn);
+  if (reactor_mode_) {
+    // Registered with a no-op handler: readiness only ends the tick wait;
+    // wait_tick drains the socket through service_messages right after.
+    reactor_.add_fd(conn_.fd(), [](std::uint32_t) {});
+  }
   reader_ = FrameReader{};
   connected_ = true;
   last_rx_ms_ = now_ms();
@@ -300,7 +306,30 @@ MonitorNode::ServiceResult MonitorNode::service_messages(Tick t) {
   return ServiceResult::kOk;
 }
 
+MonitorNode::ServiceResult MonitorNode::wait_tick(Tick t,
+                                                  std::int64_t wait_ns) {
+  if (!reactor_mode_) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+    return ServiceResult::kOk;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(wait_ns);
+  while (!stop_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    reactor_.run_once_for(deadline - now);
+    if (connected_) {
+      // Drain whatever woke us (level-triggered: leaving bytes unread would
+      // spin the wait loop). Poll answers go out mid-tick, not at t + 1.
+      const ServiceResult r = service_messages(t);
+      if (r != ServiceResult::kOk) return r;
+    }
+  }
+  return ServiceResult::kOk;
+}
+
 void MonitorNode::run() {
+  reactor_mode_ = !resolve_poll_loop(options_.poll_loop);
   backoff_ms_ = options_.reconnect_backoff_ms;
   next_attempt_ms_ = now_ms();
   if (try_attach_session(/*resume=*/false)) {
@@ -368,7 +397,15 @@ void MonitorNode::run() {
       MonitorNodeMetrics::get().degraded_ticks->inc();
     }
 
-    std::this_thread::sleep_for(std::chrono::microseconds(options_.tick_micros));
+    switch (wait_tick(t, static_cast<std::int64_t>(options_.tick_micros) *
+                             1000)) {
+      case ServiceResult::kShutdown:
+        if (sample_log_) sample_log_->flush();
+        return;
+      case ServiceResult::kDisconnected:
+      case ServiceResult::kOk:
+        break;  // the next tick's service pass picks up from here
+    }
   }
 
   if (sample_log_) sample_log_->flush();
@@ -387,7 +424,21 @@ void MonitorNode::run() {
     // Straggler polls are answered with the last in-range tick's state.
     if (service_messages(options_.ticks - 1) != ServiceResult::kOk) return;
     heartbeat_if_due(now_ms());
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (reactor_mode_) {
+      // Park until a straggler frame, the next heartbeat, or the deadline —
+      // the legacy loop instead spins this check every millisecond.
+      const auto now = std::chrono::steady_clock::now();
+      const auto wait = std::min(
+          deadline - now,
+          std::chrono::steady_clock::duration(
+              std::chrono::milliseconds(options_.heartbeat_interval_ms)));
+      if (wait.count() > 0) {
+        reactor_.run_once_for(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
   }
 }
 

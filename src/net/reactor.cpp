@@ -1,0 +1,314 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/metrics.h"
+
+namespace volley::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+struct ReactorMetrics {
+  obs::Counter* wakeups{nullptr};
+  obs::Counter* io_events{nullptr};
+  obs::Counter* timers_fired{nullptr};
+  obs::HistogramMetric* dispatch_ms{nullptr};
+};
+
+const ReactorMetrics& reactor_metrics() {
+  static auto make = [](obs::MetricsRegistry& m) {
+    ReactorMetrics h;
+    h.wakeups = &m.counter("volley_reactor_wakeups_total",
+                           "Reactor loop turns (epoll_wait returns)");
+    h.io_events = &m.counter("volley_reactor_io_events_total",
+                             "File-descriptor events dispatched");
+    h.timers_fired = &m.counter("volley_reactor_timers_fired_total",
+                                "Timer-wheel callbacks fired");
+    h.dispatch_ms = &m.histogram(
+        "volley_reactor_dispatch_ms", 0.0, 50.0, 50,
+        "Per-turn dispatch latency (I/O handlers + due timers), ms");
+    return h;
+  };
+  return obs::scoped_handles<ReactorMetrics>(make);
+}
+
+}  // namespace
+
+bool poll_loop_from_env() {
+  const char* v = std::getenv("VOLLEY_POLL_LOOP");  // NOLINT(concurrency-mt-unsafe)
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+bool Reactor::readable(std::uint32_t events) {
+  return (events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+}
+
+bool Reactor::writable(std::uint32_t events) {
+  return (events & EPOLLOUT) != 0;
+}
+
+bool Reactor::hangup(std::uint32_t events) {
+  return (events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+}
+
+std::int64_t Reactor::now_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+Reactor::Reactor() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wakeup)");
+  }
+  wheel_cursor_ms_ = now_ms();
+}
+
+Reactor::~Reactor() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::add_fd(int fd, IoHandler handler, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0U);
+  ev.data.fd = fd;
+  const bool known = handlers_.count(fd) != 0;
+  const int op = known ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) != 0) throw_errno("epoll_ctl(add)");
+  handlers_[fd] = std::make_shared<IoHandler>(std::move(handler));
+}
+
+void Reactor::set_want_write(int fd, bool want_write) {
+  if (handlers_.count(fd) == 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0U);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+}
+
+void Reactor::update_handler(int fd, IoHandler handler) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  // Fresh shared_ptr, not in-place mutation: a dispatch in progress keeps
+  // running the handler object it pinned, and only later events see the new
+  // one.
+  it->second = std::make_shared<IoHandler>(std::move(handler));
+}
+
+void Reactor::remove_fd(int fd) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return;
+  handlers_.erase(it);
+  // The fd may already be closed (kernel auto-deregisters); EBADF/ENOENT
+  // are expected then.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+Reactor::TimerId Reactor::add_timer(std::int64_t delay_ms, TimerCallback cb) {
+  if (delay_ms < 0) delay_ms = 0;
+  const TimerId id = next_timer_id_++;
+  // Ceil the arming instant to the next whole millisecond: now_ms()
+  // truncates, and a floor-based deadline would let the timer fire up to
+  // 1 ms before `delay_ms` has really elapsed — the API promises never
+  // early, late only by dispatch time.
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const std::int64_t now_ceil =
+      static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000 +
+      (ts.tv_nsec % 1000000 != 0 ? 1 : 0);
+  const std::int64_t due = now_ceil + delay_ms;
+  timers_.emplace(id, std::move(cb));
+  wheel_[slot_of(due)].push_back(WheelEntry{id, due});
+  return id;
+}
+
+void Reactor::cancel_timer(TimerId id) {
+  // Membership in timers_ is the liveness bit; the wheel entry becomes a
+  // tombstone swept when its slot is next visited.
+  timers_.erase(id);
+}
+
+std::optional<std::int64_t> Reactor::next_deadline_ms() const {
+  if (timers_.empty()) return std::nullopt;
+  const std::int64_t cursor = wheel_cursor_ms_;
+  // Ring order == time order for deadlines within one wheel span of the
+  // cursor, so the first slot holding a near entry yields the minimum.
+  for (std::size_t k = 0; k < kWheelSlots; ++k) {
+    const auto& slot = wheel_[(slot_of(cursor) + k) & (kWheelSlots - 1)];
+    std::optional<std::int64_t> best;
+    for (const auto& e : slot) {
+      if (timers_.count(e.id) == 0) continue;        // cancelled tombstone
+      if (e.due_ms >= cursor + kWheelSpanMs) continue;  // a later lap
+      if (!best || e.due_ms < *best) best = e.due_ms;
+    }
+    if (best) return best;
+  }
+  // Every live timer is a lap or more out: sleep one span, then re-scan.
+  return cursor + kWheelSpanMs;
+}
+
+int Reactor::advance_wheel(std::int64_t now) {
+  if (timers_.empty()) {
+    wheel_cursor_ms_ = now;
+    return 0;
+  }
+  // Visit every slot the cursor passes over (capped at one full lap — past
+  // that the ring repeats), collecting entries due by `now`. Entries for
+  // future laps stay in their slot and are re-examined next pass.
+  const std::int64_t elapsed = now - wheel_cursor_ms_;
+  const std::int64_t steps =
+      std::min<std::int64_t>(elapsed / kWheelResMs + 1, kWheelSlots);
+  due_scratch_.clear();
+  for (std::int64_t k = 0; k < steps; ++k) {
+    auto& slot = wheel_[(slot_of(wheel_cursor_ms_) + static_cast<std::size_t>(k)) &
+                        (kWheelSlots - 1)];
+    for (std::size_t i = 0; i < slot.size();) {
+      const WheelEntry e = slot[i];
+      if (timers_.count(e.id) == 0 || e.due_ms <= now) {
+        slot[i] = slot.back();
+        slot.pop_back();
+        if (timers_.count(e.id) != 0) due_scratch_.push_back(e);
+      } else {
+        ++i;
+      }
+    }
+  }
+  wheel_cursor_ms_ = now;
+  // Fire in deadline order so interdependent timers observe a consistent
+  // sequence (e.g. poll timeout before the liveness sweep armed later).
+  std::sort(due_scratch_.begin(), due_scratch_.end(),
+            [](const WheelEntry& a, const WheelEntry& b) {
+              return a.due_ms < b.due_ms || (a.due_ms == b.due_ms && a.id < b.id);
+            });
+  int fired = 0;
+  for (const auto& e : due_scratch_) {
+    auto it = timers_.find(e.id);
+    if (it == timers_.end()) continue;  // cancelled by an earlier callback
+    TimerCallback cb = std::move(it->second);
+    timers_.erase(it);
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+int Reactor::dispatch(void* events, int n) {
+  auto* evs = static_cast<epoll_event*>(events);
+  int handled = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = evs[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+      }
+      continue;
+    }
+    // Lookup at dispatch time: an earlier handler in this batch may have
+    // removed this fd (session teardown) — skip its stale event.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    auto handler = it->second;  // pin across the call
+    (*handler)(evs[i].events);
+    ++handled;
+  }
+  return handled;
+}
+
+int Reactor::wait_and_dispatch(std::int64_t wait_ns) {
+  constexpr int kMaxEvents = 128;
+  epoll_event evs[kMaxEvents];
+  int n = 0;
+  if (wait_ns < 0) {
+    n = ::epoll_wait(epoll_fd_, evs, kMaxEvents, -1);
+  } else {
+#ifdef SYS_epoll_pwait2
+    timespec ts{};
+    ts.tv_sec = wait_ns / 1000000000;
+    ts.tv_nsec = wait_ns % 1000000000;
+    n = static_cast<int>(::syscall(SYS_epoll_pwait2, epoll_fd_, evs,
+                                   kMaxEvents, &ts, nullptr, 0));
+    if (n < 0 && errno == ENOSYS) {
+      n = ::epoll_wait(epoll_fd_, evs, kMaxEvents,
+                       static_cast<int>((wait_ns + 999999) / 1000000));
+    }
+#else
+    n = ::epoll_wait(epoll_fd_, evs, kMaxEvents,
+                     static_cast<int>((wait_ns + 999999) / 1000000));
+#endif
+  }
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait");
+  }
+  const auto& met = reactor_metrics();
+  ++stats_.wakeups;
+  met.wakeups->inc();
+  const std::int64_t t0 = now_ms();
+  const int handled = dispatch(evs, n);
+  const int fired = advance_wheel(now_ms());
+  stats_.io_events += handled;
+  stats_.timers_fired += fired;
+  if (handled != 0) met.io_events->inc(handled);
+  if (fired != 0) met.timers_fired->inc(fired);
+  if (handled + fired != 0) {
+    met.dispatch_ms->observe(static_cast<double>(now_ms() - t0));
+  }
+  return handled + fired;
+}
+
+int Reactor::run_once(int max_wait_ms) {
+  std::int64_t wait_ns = -1;
+  if (max_wait_ms >= 0) wait_ns = static_cast<std::int64_t>(max_wait_ms) * 1000000;
+  if (auto due = next_deadline_ms()) {
+    const std::int64_t until_ns = std::max<std::int64_t>(*due - now_ms(), 0) * 1000000;
+    wait_ns = (wait_ns < 0) ? until_ns : std::min(wait_ns, until_ns);
+  }
+  return wait_and_dispatch(wait_ns);
+}
+
+int Reactor::run_once_for(std::chrono::nanoseconds max_wait) {
+  std::int64_t wait_ns = std::max<std::int64_t>(max_wait.count(), 0);
+  if (auto due = next_deadline_ms()) {
+    const std::int64_t until_ns = std::max<std::int64_t>(*due - now_ms(), 0) * 1000000;
+    wait_ns = std::min(wait_ns, until_ns);
+  }
+  return wait_and_dispatch(wait_ns);
+}
+
+void Reactor::wakeup() {
+  const std::uint64_t one = 1;
+  // Best-effort: EAGAIN means a wakeup is already pending, which is enough.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+}  // namespace volley::net

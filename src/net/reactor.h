@@ -1,0 +1,158 @@
+// Epoll reactor + calendar-ring timer wheel for the Volley net runtime.
+//
+// One Reactor instance is one event loop: file descriptors register a
+// handler once (persistent registration — no per-tick fd-vector rebuild
+// like the legacy poll(2) loops) and are dispatched on readiness;
+// millisecond timers live in a calendar bucket ring (the due-index idiom
+// from core/coordinator.cpp, one ring level plus lap carry-over for
+// far-out deadlines). A quiet loop therefore sleeps in epoll_wait until
+// the next due timer or the next byte of I/O — zero wakeups in between —
+// instead of polling on a fixed tick.
+//
+// Threading: everything except wakeup() is confined to the loop thread
+// (the thread calling run_once). wakeup() is safe from any thread: it
+// writes an eventfd registered with the epoll set, so another thread can
+// nudge a sleeping loop (request_stop does this).
+//
+// `VOLLEY_POLL_LOOP` (set and not "0") is the escape hatch that keeps the
+// legacy poll(2) loops as the behavioral baseline, same discipline as
+// VOLLEY_SCAN_TICKS / VOLLEY_SCALAR_BETA; nodes read it through
+// poll_loop_from_env() at construction and accept a per-node override.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace volley::net {
+
+/// True when VOLLEY_POLL_LOOP is set (and not "0"): run the legacy
+/// poll(2) loops instead of the epoll reactor.
+bool poll_loop_from_env();
+
+/// Resolves a per-node tri-state override against the environment:
+/// negative = follow VOLLEY_POLL_LOOP, 0 = reactor, positive = legacy.
+inline bool resolve_poll_loop(int override_flag) {
+  if (override_flag < 0) return poll_loop_from_env();
+  return override_flag > 0;
+}
+
+class Reactor {
+ public:
+  /// Raw epoll event mask; use readable()/writable()/hangup() to decode.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  static bool readable(std::uint32_t events);
+  static bool writable(std::uint32_t events);
+  /// Peer hangup or socket error — treat like readability (the next read
+  /// returns 0/err) so handlers observe EOF through their normal path.
+  static bool hangup(std::uint32_t events);
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // --- fd registration ----------------------------------------------------
+
+  /// Registers `fd` (level-triggered) for readability and, when
+  /// `want_write`, writability. The handler stays registered until
+  /// remove_fd; re-adding an fd replaces its handler and interest set.
+  void add_fd(int fd, IoHandler handler, bool want_write = false);
+
+  /// Arms/disarms EPOLLOUT for an already-registered fd (EAGAIN
+  /// backpressure: arm when a flush blocks, disarm once drained).
+  void set_want_write(int fd, bool want_write);
+
+  /// Swaps the handler of a registered fd (pending-conn -> session rebind)
+  /// without touching the kernel registration.
+  void update_handler(int fd, IoHandler handler);
+
+  /// Deregisters; safe when the fd was never added or is already closed.
+  /// Pending events for the fd in the current dispatch batch are skipped.
+  void remove_fd(int fd);
+
+  bool watching(int fd) const { return handlers_.count(fd) != 0; }
+  std::size_t watched_fds() const { return handlers_.size(); }
+
+  // --- timers (calendar ring, 1 ms resolution) ----------------------------
+
+  /// Fires `cb` once, ~delay_ms from now (never early; late only by loop
+  /// dispatch time). Returns an id for cancel_timer.
+  TimerId add_timer(std::int64_t delay_ms, TimerCallback cb);
+
+  /// Cancels a pending timer; a no-op for unknown/already-fired ids.
+  void cancel_timer(TimerId id);
+
+  std::size_t pending_timers() const { return timers_.size(); }
+
+  /// Absolute steady-clock ms deadline of the soonest pending timer (the
+  /// epoll sleep bound), or nullopt when no timer is pending.
+  std::optional<std::int64_t> next_deadline_ms() const;
+
+  // --- loop ---------------------------------------------------------------
+
+  /// One loop turn: sleeps until I/O, the next due timer, or `max_wait_ms`
+  /// (-1: no bound beyond timers), then dispatches every ready fd and
+  /// every due timer. Returns the number of I/O events + timers fired
+  /// (0 on a pure timeout or wakeup()).
+  int run_once(int max_wait_ms = -1);
+
+  /// run_once with a sub-millisecond wait bound (epoll_pwait2 where the
+  /// kernel offers it, nonblocking-poll + nanosleep otherwise) — the
+  /// monitor's compressed tick cadence is 100s of microseconds.
+  int run_once_for(std::chrono::nanoseconds max_wait);
+
+  /// Nudges a sleeping loop from any thread (eventfd write).
+  void wakeup();
+
+  /// Steady-clock milliseconds, the timebase of add_timer deadlines.
+  static std::int64_t now_ms();
+
+  struct Stats {
+    std::int64_t wakeups{0};       // epoll_wait returns (loop turns)
+    std::int64_t io_events{0};     // fd events dispatched
+    std::int64_t timers_fired{0};  // timer callbacks run
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct WheelEntry {
+    TimerId id{0};
+    std::int64_t due_ms{0};
+  };
+
+  static constexpr std::size_t kWheelSlots = 512;  // power of two
+  static constexpr std::int64_t kWheelResMs = 1;
+  static constexpr std::int64_t kWheelSpanMs =
+      static_cast<std::int64_t>(kWheelSlots) * kWheelResMs;
+
+  std::size_t slot_of(std::int64_t ms) const {
+    return static_cast<std::size_t>(ms / kWheelResMs) & (kWheelSlots - 1);
+  }
+
+  /// Fires every timer due by `now` and advances the wheel cursor.
+  int advance_wheel(std::int64_t now);
+  int dispatch(void* events, int n);
+  int wait_and_dispatch(std::int64_t wait_ns);
+
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+  std::unordered_map<int, std::shared_ptr<IoHandler>> handlers_;
+
+  std::unordered_map<TimerId, TimerCallback> timers_;
+  std::vector<std::vector<WheelEntry>> wheel_{kWheelSlots};
+  std::int64_t wheel_cursor_ms_{0};
+  TimerId next_timer_id_{1};
+  std::vector<WheelEntry> due_scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace volley::net

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -69,8 +70,29 @@ TcpConnection TcpConnection::connect(const std::string& host,
   if (rc != 0) {
     if (errno != EINPROGRESS) throw_errno("connect");
     pollfd pfd{fd.get(), POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready < 0) throw_errno("poll(connect)");
+    // Retry the wait on EINTR (a delivered signal is not a connect
+    // failure), shrinking the timeout by the time already waited.
+    timespec start{};
+    clock_gettime(CLOCK_MONOTONIC, &start);
+    int remaining_ms = timeout_ms;
+    int ready = 0;
+    for (;;) {
+      ready = ::poll(&pfd, 1, remaining_ms);
+      if (ready >= 0) break;
+      if (errno != EINTR) throw_errno("poll(connect)");
+      if (timeout_ms >= 0) {
+        timespec now{};
+        clock_gettime(CLOCK_MONOTONIC, &now);
+        const auto waited_ms =
+            static_cast<int>((now.tv_sec - start.tv_sec) * 1000 +
+                             (now.tv_nsec - start.tv_nsec) / 1000000);
+        remaining_ms = timeout_ms - waited_ms;
+        if (remaining_ms <= 0) {
+          ready = 0;  // deadline passed while handling signals
+          break;
+        }
+      }
+    }
     if (ready == 0) {
       errno = ETIMEDOUT;
       throw_errno("connect");
