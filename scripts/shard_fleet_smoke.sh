@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Two-tier fleet smoke (CI shard-smoke job; DESIGN.md §13): one root
+# coordinator, two aggregator shards, eight monitors over loopback TCP.
+# Monitor 0 of shard 0 carries a spike heavy enough to push the global
+# aggregate over T, so the run must show an escalation at shard 0 and an
+# ALERT at the root. Along the way the script exercises the shard
+# introspection surface (volley_stats --shards, volleyctl shards) and the
+# in-place budget verb (volleyctl budget).
+#
+#   scripts/shard_fleet_smoke.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD=${1:-build}
+OUT=${2:-shard-smoke-out}
+TOOLS="$BUILD/src/tools"
+mkdir -p "$OUT"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_for_listen() {
+  local log=$1
+  for _ in $(seq 100); do
+    if grep -q "listening on" "$log" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "shard_fleet_smoke: timed out waiting for listen line in $log" >&2
+  return 1
+}
+
+listen_port() {
+  sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$1" | head -1
+}
+
+# Root: 2 shard sessions weighing 4 monitors each (total_weight=8), so each
+# shard's boot-task slice is T_s = 16*4/8 = 8 and err_s = 0.04*4/8 = 0.02.
+"$TOOLS/volleyd_coordinator" monitors=2 total_weight=8 threshold=16 \
+  err=0.04 > "$OUT/root.log" 2>&1 &
+PIDS+=($!)
+wait_for_listen "$OUT/root.log"
+ROOT_PORT=$(listen_port "$OUT/root.log")
+
+declare -a AGG_PORT
+for s in 0 1; do
+  "$TOOLS/volleyd_aggregator" shard=$s monitors=4 \
+    coordinator_port="$ROOT_PORT" threshold=8 err=0.02 \
+    summary_interval_ms=50 heartbeat_interval_ms=100 \
+    > "$OUT/agg$s.log" 2>&1 &
+  PIDS+=($!)
+  wait_for_listen "$OUT/agg$s.log"
+  AGG_PORT[$s]=$(listen_port "$OUT/agg$s.log")
+done
+
+# Both aggregators should appear in the root's shard table once their
+# ShardHellos land; poll briefly since the joins are asynchronous.
+for _ in $(seq 50); do
+  "$TOOLS/volley_stats" --shards port="$ROOT_PORT" \
+    > "$OUT/stats_shards.txt" 2>&1 || true
+  if grep -q "# shard sessions: 2" "$OUT/stats_shards.txt"; then break; fi
+  sleep 0.1
+done
+grep -q "# shard sessions: 2" "$OUT/stats_shards.txt"
+"$TOOLS/volleyctl" shards port="$ROOT_PORT" > "$OUT/ctl_shards.txt"
+grep -q "2 shard session(s)" "$OUT/ctl_shards.txt"
+
+# In-place budget update through the root: rescales the live per-shard
+# split without restarting any sampler.
+"$TOOLS/volleyctl" budget port="$ROOT_PORT" task=0 err=0.05 \
+  > "$OUT/ctl_budget.txt"
+grep -q "ok" "$OUT/ctl_budget.txt"
+
+MON_PIDS=()
+for s in 0 1; do
+  for i in 0 1 2 3; do
+    EXTRA=""
+    if [ "$s" = 0 ] && [ "$i" = 0 ]; then
+      # The hot monitor: +40 for 120 ticks pushes shard 0's subset
+      # aggregate (~44) past T_s=8 and the global aggregate past T=16.
+      EXTRA="spike_at=150 spike_len=120 spike_value=40"
+    fi
+    # shellcheck disable=SC2086
+    "$TOOLS/volleyd_monitor" id=$i port="${AGG_PORT[$s]}" \
+      local_threshold=2 err=0.005 ticks=400 tick_micros=500 im=8 \
+      patience=3 updating_period=100 source=sine base=1 amplitude=0.1 \
+      period=200 noise=0.02 $EXTRA > "$OUT/mon$s-$i.log" 2>&1 &
+    MON_PIDS+=($!)
+    PIDS+=($!)
+  done
+done
+
+for pid in "${MON_PIDS[@]}"; do wait "$pid"; done
+# Aggregators exit after their monitors say Bye and the root acknowledges;
+# the root exits after both shard Byes.
+wait "${PIDS[0]}" "${PIDS[1]}" "${PIDS[2]}" 2>/dev/null || true
+PIDS=()
+
+echo "--- root ---";  cat "$OUT/root.log"
+echo "--- agg0 ---";  cat "$OUT/agg0.log"
+
+# The detection path end to end: shard 0 escalated, the root alerted.
+grep -q "ALERT task=0" "$OUT/root.log"
+grep -Eq "[1-9][0-9]* escalations" "$OUT/agg0.log"
+grep -Eq "[1-9][0-9]* summaries" "$OUT/agg0.log"
+grep -Eq "[1-9][0-9]* summaries" "$OUT/agg1.log"
+# Every shard reported its summed monitor ops on Bye.
+grep -c "monitor .*: .* sampling ops" "$OUT/root.log" | grep -qx 2
+
+echo "shard_fleet_smoke: OK"

@@ -208,6 +208,31 @@ Coordinator::TickResult Coordinator::run_tick(Tick t) {
   return result;
 }
 
+double Coordinator::force_poll(Tick t) {
+  double sum = 0.0;
+  for (auto& m : monitors_) sum += m->force_sample(t).sample.value;
+  // Every monitor that wasn't already sampled at t rescheduled; the ring's
+  // entries are stale wholesale (same invariant as the in-tick poll).
+  if (!scan_ticks_) rebuild_due_index();
+  return sum;
+}
+
+void Coordinator::set_error_budget(double err) {
+  if (err < 0.0 || err > 1.0)
+    throw std::invalid_argument("Coordinator: error budget in [0,1]");
+  spec_.error_allowance = err;
+  double sum = 0.0;
+  for (double a : allocation_) sum += a;
+  if (sum > 0.0) {
+    for (double& a : allocation_) a *= err / sum;
+  } else {
+    const double share = err / static_cast<double>(allocation_.size());
+    for (double& a : allocation_) a = share;
+  }
+  for (std::size_t i = 0; i < monitors_.size(); ++i)
+    monitors_[i]->set_error_allowance(allocation_[i]);
+}
+
 void Coordinator::maybe_reallocate(Tick t) {
   if (t < next_update_) return;
   next_update_ = t + spec_.updating_period;
@@ -216,6 +241,12 @@ void Coordinator::maybe_reallocate(Tick t) {
   std::vector<CoordStats> stats;
   stats.reserve(monitors_.size());
   for (auto& m : monitors_) stats.push_back(m->drain_coord_stats());
+  last_period_stats_ = CoordStats{};
+  for (const CoordStats& s : stats) {
+    last_period_stats_.avg_gain += s.avg_gain;
+    last_period_stats_.avg_allowance += s.avg_allowance;
+    last_period_stats_.observations += s.observations;
+  }
 
   const std::vector<double> previous = allocation_;
   allocation_ = allocator_->allocate(spec_.error_allowance, allocation_,

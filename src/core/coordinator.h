@@ -75,6 +75,34 @@ class Coordinator {
   /// Current per-monitor error-allowance allocation (sums to task err).
   const std::vector<double>& allocation() const { return allocation_; }
 
+  // --- shard-tier hooks (src/shard, DESIGN.md §13) --------------------
+  //
+  // A ShardedCoordinator nests the paper's decomposition one level up by
+  // treating each Coordinator as a super-monitor. These hooks deliberately
+  // have *no* counter/metric/trace side effects of their own: a shard
+  // count of 1 must stay byte-identical to the flat tick loop, so all
+  // shard-tier accounting lives with the caller.
+
+  /// Root-tier escalation: force-samples every monitor at tick t and
+  /// returns the aggregate. Unlike the poll inside run_tick this does not
+  /// count a global poll, raise alerts, or touch metrics — the caller owns
+  /// that accounting. Forced samples reschedule monitors wholesale, so the
+  /// due index is rebuilt.
+  double force_poll(Tick t);
+
+  /// Replaces the task-level error budget err (the root tier pushes a new
+  /// per-shard budget once per root updating period). The per-monitor
+  /// allocation is rescaled proportionally — even re-split when the
+  /// current allocation is all zero — so it sums to `err` again, and the
+  /// monitors see their new allowances immediately. Future reallocation
+  /// rounds allocate the new budget.
+  void set_error_budget(double err);
+
+  /// Sums of the per-monitor coordination statistics drained at the most
+  /// recent reallocation round — the (r, e) shard summary the root tier
+  /// feeds its own allocator. Zero-valued until the first round.
+  CoordStats last_period_stats() const { return last_period_stats_; }
+
   // --- accounting -----------------------------------------------------
   std::int64_t global_polls() const { return global_polls_; }
   std::int64_t global_violations() const { return global_violations_; }
@@ -119,6 +147,7 @@ class Coordinator {
   std::unique_ptr<AllowanceAllocator> allocator_;
   std::vector<double> allocation_;
   Tick next_update_{0};
+  CoordStats last_period_stats_{};
 
   bool scan_ticks_{false};
   Tick cursor_{0};

@@ -173,8 +173,11 @@ std::vector<double> AdaptiveAllocation::allocate(
   std::vector<double> out(current.begin(), current.end());
   if (!any_positive) return out;  // nothing can grow; keep the allocation
 
-  // Uniformity throttle: when all yields are within the band, reallocation
-  // would only churn — keep the current assignment.
+  // Uniformity throttle (the paper's "max{y_i/y_j} < 0.1" read as a
+  // near-uniformity test, see the header): when the largest pairwise yield
+  // ratio is under 1 + band, reallocation would only churn — keep the
+  // current assignment. min_y == 0 (a monitor that cannot grow) never
+  // skips: its allowance should move to monitors that can use it.
   if (min_y > 0.0 && max_y / min_y - 1.0 < options_.uniformity_band) {
     AllocationMetrics::get().uniform_skips->inc();
     return out;

@@ -13,10 +13,19 @@
 // and reassigns err_i = err * y_i / sum_j y_j once per updating period.
 // Throttles (both from the paper):
 //   * minimum assignment: no monitor drops below err/100;
-//   * skip reallocation when yields are near-uniform (within 10% of each
-//     other) — the paper states "no reallocation if max{y_i/y_j} < 0.1",
-//     which read literally is never true since max over ordered pairs is
-//     >= 1; we implement the evident intent, max_y/min_y - 1 < 0.1.
+//   * uniformity throttle: the paper states "no reallocation if
+//     max{y_i/y_j} < 0.1". Read literally that predicate is never true —
+//     the max over ordered pairs is >= 1 (take i = j). The evident intent
+//     is a near-uniformity test, and the implemented rule is exactly
+//
+//         skip  iff  min_y > 0  and  max_y / min_y - 1 < uniformity_band
+//
+//     with uniformity_band = 0.1: the largest pairwise yield ratio
+//     max_{i,j} y_i/y_j stays below 1.1, i.e. the best yield exceeds the
+//     worst by less than 10% *of the worst*. A zero yield (a monitor whose
+//     interval cannot grow) disables the skip — its allowance should flow
+//     to monitors that can use it. test_error_allocation.cpp pins both
+//     edges of the band and the zero-yield case.
 //
 // `EvenAllocation` (the paper's "even" comparison scheme in Figure 8)
 // always splits err uniformly.

@@ -60,6 +60,14 @@ struct NetCoordinatorMetrics {
   }
 };
 
+/// The allowance push for one session: monitors get AllowanceUpdate (their
+/// sampler applies it directly); shard sessions get ShardAllowance (the
+/// aggregator loops it back to its embedded coordinator's budget).
+Message allowance_frame(bool shard, TaskId task, double value) {
+  if (shard) return ShardAllowance{task, value};
+  return AllowanceUpdate{value, task};
+}
+
 /// Liveness states as recorded in kLivenessTransition trace events.
 double liveness_code(MonitorLiveness s) {
   switch (s) {
@@ -106,9 +114,16 @@ CoordinatorNode::CoordinatorNode(const CoordinatorNodeOptions& options)
   listener_.set_nonblocking(true);
 }
 
-double CoordinatorNode::even_share(const TaskRuntime& rt) const {
-  return rt.record.spec.error_allowance /
-         static_cast<double>(options_.monitors);
+std::uint32_t CoordinatorNode::session_weight(MonitorId id) const {
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() ? it->second.weight : 1;
+}
+
+double CoordinatorNode::weighted_share(const TaskRuntime& rt,
+                                       MonitorId id) const {
+  return rt.record.spec.error_allowance *
+         static_cast<double>(session_weight(id)) /
+         static_cast<double>(total_weight());
 }
 
 CoordinatorNode::TaskRuntime& CoordinatorNode::install_task_runtime(
@@ -123,7 +138,11 @@ CoordinatorNode::TaskRuntime& CoordinatorNode::install_task_runtime(
   rt.allowance.clear();
   for (const auto& [id, session] : sessions_) {
     (void)session;
-    rt.allowance.emplace(id, even_share(rt));
+    rt.allowance.emplace(id, weighted_share(rt, id));
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_export_mu_);
+    shard_export_[record.id].budget = record.spec.error_allowance;
   }
   return rt;
 }
@@ -134,11 +153,14 @@ TaskAttach CoordinatorNode::make_attach(const TaskRuntime& rt,
   TaskAttach attach;
   attach.task = rt.record.id;
   attach.epoch = rt.record.epoch;
-  attach.local_threshold =
-      spec.global_threshold / static_cast<double>(options_.monitors);
+  // The session's threshold slice T·w/W: a weight-1 monitor gets the flat
+  // even split; a shard session gets the slice its subset sums to.
+  attach.local_threshold = spec.global_threshold *
+                           static_cast<double>(session_weight(id)) /
+                           static_cast<double>(total_weight());
   const auto it = rt.allowance.find(id);
   attach.error_allowance = it != rt.allowance.end() ? it->second
-                                                    : even_share(rt);
+                                                    : weighted_share(rt, id);
   attach.slack_ratio = spec.slack_ratio;
   attach.patience = spec.patience;
   attach.max_interval = spec.max_interval;
@@ -255,6 +277,13 @@ void CoordinatorNode::finish_poll(TaskId task, TaskRuntime& rt) {
     NetCoordinatorMetrics::get().alerts->inc();
     obs::trace().record(obs::TraceKind::kAlertRaised, rt.active_poll_tick,
                         task, sum, threshold);
+    if (options_.on_alert) options_.on_alert(task, rt.active_poll_tick, sum);
+  }
+  {
+    // Export the settled aggregate for an embedding aggregator's upstream
+    // PollResponses (the root polls shards for their subset sums).
+    std::lock_guard<std::mutex> lock(shard_export_mu_);
+    shard_export_[task].last_aggregate = sum;
   }
   {
     std::lock_guard<std::mutex> lock(poll_settle_mu_);
@@ -296,8 +325,21 @@ void CoordinatorNode::maybe_reallocate(TaskId task, TaskRuntime& rt) {
     rt.allowance[eligible[i]] = next[i];
     auto& session = sessions_.at(eligible[i]);
     if (session.connected) {
-      send_to(eligible[i], session, AllowanceUpdate{next[i], task});
+      send_to(eligible[i], session,
+              allowance_frame(session.shard, task, next[i]));
     }
+  }
+  {
+    // Accumulate this round's (r, e) sums for the upstream ShardSummary:
+    // the root runs the identical allocator over these per-shard sums.
+    std::lock_guard<std::mutex> lock(shard_export_mu_);
+    ShardExport& ex = shard_export_[task];
+    for (const CoordStats& s : stats) {
+      ex.r_sum += s.avg_gain;
+      ex.e_sum += s.avg_allowance;
+      ex.observations += s.observations;
+    }
+    ex.budget = budget;
   }
   rt.pending_stats.clear();
   ++reallocations_;
@@ -359,7 +401,8 @@ void CoordinatorNode::redistribute_and_push() {
       auto& session = sessions_.at(ids[i]);
       if (session.connected && session.state == MonitorLiveness::kActive &&
           !session.done) {
-        send_to(ids[i], session, AllowanceUpdate{next[i], task});
+        send_to(ids[i], session,
+                allowance_frame(session.shard, task, next[i]));
       }
     }
     redistributed = true;
@@ -381,6 +424,23 @@ void CoordinatorNode::serve_stats(TcpConnection& conn,
     // Newest events only: ~120 bytes/line keeps 2048 lines well under the
     // 1 MiB frame cap even with pathological payloads.
     reply.trace_jsonl = obs::trace().to_jsonl(2048);
+  }
+  if (request.flags & StatsRequest::kIncludeShards) {
+    const std::int64_t now = now_ms();
+    const auto boot = tasks_.find(kBootTaskId);
+    for (const auto& [id, session] : sessions_) {
+      if (!session.shard) continue;
+      ShardStatsRow row;
+      row.shard = id;
+      row.monitors = session.weight;
+      if (boot != tasks_.end()) {
+        const auto a = boot->second.allowance.find(id);
+        if (a != boot->second.allowance.end()) row.allowance = a->second;
+      }
+      row.last_summary_age_ms =
+          session.last_summary_ms < 0 ? -1 : now - session.last_summary_ms;
+      reply.shards.push_back(row);
+    }
   }
   conn.send_all(frame_payload(encode(Message{reply})));
 }
@@ -431,12 +491,85 @@ ControlReply CoordinatorNode::apply_remove(const RemoveTask& request) {
   if (result.ok()) {
     persist_and_trace(*result.op);
     tasks_.erase(request.task);
+    {
+      std::lock_guard<std::mutex> lock(shard_export_mu_);
+      shard_export_.erase(request.task);
+    }
     broadcast(TaskDetach{request.task, result.epoch});
     VLOG_INFO("coordinator", "task ", request.task, " removed at epoch ",
               result.epoch);
   }
   return ControlReply{result.status, result.epoch, registry_.version(),
                       result.error};
+}
+
+ControlReply CoordinatorNode::apply_shard_allowance(
+    const ShardAllowance& request) {
+  const auto it = tasks_.find(request.task);
+  if (it == tasks_.end()) {
+    return ControlReply{control::ControlStatus::kNotFound, 0,
+                        registry_.version(), "unknown task"};
+  }
+  if (!(request.error_allowance >= 0.0 && request.error_allowance <= 1.0)) {
+    return ControlReply{control::ControlStatus::kInvalid, 0,
+                        registry_.version(), "error allowance in [0, 1]"};
+  }
+  TaskRuntime& rt = it->second;
+  const double err = request.error_allowance;
+  // Rescale the live split proportionally: relative shares (the adaptive
+  // allocator's learned state) survive the budget change.
+  double sum = 0.0;
+  for (const auto& [id, a] : rt.allowance) {
+    (void)id;
+    sum += a;
+  }
+  for (auto& [id, a] : rt.allowance) {
+    a = sum > 0.0 ? a * err / sum : weighted_share(rt, id);
+  }
+  rt.record.spec.error_allowance = err;
+  for (auto& [id, session] : sessions_) {
+    if (!session.connected || session.done ||
+        session.state == MonitorLiveness::kDead) {
+      continue;
+    }
+    send_to(id, session,
+            allowance_frame(session.shard, request.task, rt.allowance[id]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_export_mu_);
+    shard_export_[request.task].budget = err;
+  }
+  VLOG_INFO("coordinator", "task ", request.task, " budget set to ", err);
+  return ControlReply{control::ControlStatus::kOk, rt.record.epoch,
+                      registry_.version(), {}};
+}
+
+double CoordinatorNode::shard_aggregate(TaskId task) const {
+  std::lock_guard<std::mutex> lock(shard_export_mu_);
+  const auto it = shard_export_.find(task);
+  return it != shard_export_.end() ? it->second.last_aggregate : 0.0;
+}
+
+std::vector<ShardSummary> CoordinatorNode::drain_shard_summaries(
+    std::uint32_t shard_id) {
+  std::vector<ShardSummary> out;
+  std::lock_guard<std::mutex> lock(shard_export_mu_);
+  out.reserve(shard_export_.size());
+  for (auto& [task, ex] : shard_export_) {
+    ShardSummary summary;
+    summary.shard = shard_id;
+    summary.task = task;
+    summary.r = ex.r_sum;
+    summary.e = ex.e_sum;
+    summary.yield = ex.e_sum > 0.0 ? ex.r_sum / ex.e_sum : 0.0;
+    summary.allowance_used = ex.budget;
+    summary.observations = ex.observations;
+    out.push_back(summary);
+    ex.r_sum = 0.0;
+    ex.e_sum = 0.0;
+    ex.observations = 0;
+  }
+  return out;
 }
 
 TaskListReply CoordinatorNode::build_task_list() const {
@@ -465,6 +598,8 @@ void CoordinatorNode::serve_control(TcpConnection& conn,
     reply = apply_update(*update);
   } else if (const auto* remove = std::get_if<RemoveTask>(&request)) {
     reply = apply_remove(*remove);
+  } else if (const auto* budget = std::get_if<ShardAllowance>(&request)) {
+    reply = apply_shard_allowance(*budget);
   } else {
     reply = build_task_list();
   }
@@ -482,7 +617,8 @@ void CoordinatorNode::disconnect_session(MonitorId id, Session& session) {
   if (!session.done) mark_suspect(id, session);
 }
 
-void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
+void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello,
+                                   bool shard, std::uint32_t weight) {
   const MonitorId id = hello.monitor;
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
@@ -495,9 +631,11 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     session.conn = std::move(pending.conn);
     session.reader = std::move(pending.reader);
     session.last_seen_ms = now_ms();
+    session.shard = shard;
+    session.weight = weight;
     it = sessions_.emplace(id, std::move(session)).first;
     for (auto& [task, rt] : tasks_) {
-      rt.allowance.emplace(id, even_share(rt));
+      rt.allowance.emplace(id, weighted_share(rt, id));
     }
     // Teach the newcomer the full task set. Monitors dedupe by epoch, so
     // the boot task's attach (epoch 1, which they seeded themselves) is a
@@ -510,7 +648,8 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
       // task's allowance.
       ++fault_stats_.reconnects;
       for (auto& [task, rt] : tasks_) {
-        send_to(id, it->second, AllowanceUpdate{rt.allowance[id], task});
+        send_to(id, it->second,
+                allowance_frame(shard, task, rt.allowance[id]));
       }
     }
     if (all_joined()) {
@@ -537,6 +676,8 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
     session.connected = true;
     session.state = MonitorLiveness::kActive;
     session.last_seen_ms = now_ms();
+    session.shard = shard;
+    session.weight = weight;
     ++fault_stats_.reconnects;
     if (was_down) {
       ++fault_stats_.recovered;
@@ -558,7 +699,7 @@ void CoordinatorNode::bind_session(PendingConn&& pending, const Hello& hello) {
       send_to(id, session, make_attach(rt, id));
     }
     for (auto& [task, rt] : tasks_) {
-      send_to(id, session, AllowanceUpdate{rt.allowance[id], task});
+      send_to(id, session, allowance_frame(shard, task, rt.allowance[id]));
     }
   }
   // Frames that followed Hello in the same burst are already buffered.
@@ -588,8 +729,8 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
     send_to(id, session, HeartbeatAck{heartbeat->seq});
     return;
   }
-  if (std::get_if<Hello>(&message)) {
-    return;  // duplicate Hello on an already-bound session
+  if (std::get_if<Hello>(&message) || std::get_if<ShardHello>(&message)) {
+    return;  // duplicate Hello/ShardHello on an already-bound session
   }
   if (const auto* violation = std::get_if<LocalViolation>(&message)) {
     // One poll at a time per task: coincident local violations are answered
@@ -625,6 +766,21 @@ void CoordinatorNode::handle_message(MonitorId id, Session& session,
     s.observations = stats->observations;
     task_it->second.pending_stats[stats->monitor] = s;
     maybe_reallocate(stats->task, task_it->second);
+    return;
+  }
+  if (const auto* summary = std::get_if<ShardSummary>(&message)) {
+    // A shard's compressed coordination stats: feed (r, e) into the same
+    // reallocation machinery a StatsReport drives — the root runs the
+    // identical allocator over shard sums instead of monitor averages.
+    session.last_summary_ms = now_ms();
+    const auto task_it = tasks_.find(summary->task);
+    if (task_it == tasks_.end()) return;
+    CoordStats s;
+    s.avg_gain = summary->r;
+    s.avg_allowance = summary->e;
+    s.observations = summary->observations;
+    task_it->second.pending_stats[summary->shard] = s;
+    maybe_reallocate(summary->task, task_it->second);
     return;
   }
   if (const auto* bye = std::get_if<Bye>(&message)) {
@@ -689,6 +845,13 @@ void CoordinatorNode::run_poll_loop() {
             if (!message) continue;
             if (const auto* hello = std::get_if<Hello>(&*message)) {
               bind_session(std::move(pending), *hello);
+              bound = true;
+              break;
+            }
+            if (const auto* sh = std::get_if<ShardHello>(&*message)) {
+              // An aggregator joining as a shard session.
+              bind_session(std::move(pending), Hello{sh->shard, sh->resume},
+                           /*shard=*/true, sh->monitors);
               bound = true;
               break;
             }
@@ -869,6 +1032,8 @@ void CoordinatorNode::reactor_on_pending(int fd, std::uint32_t events) {
   bool drop = false;
   bool bound = false;
   Hello hello{};
+  bool shard_hello = false;
+  std::uint32_t shard_weight = 1;
   while (!bound && !drop) {
     const auto n = pending.conn.recv_some(buf);
     if (!n) break;  // drained
@@ -883,6 +1048,13 @@ void CoordinatorNode::reactor_on_pending(int fd, std::uint32_t events) {
       if (!message) continue;
       if (const auto* h = std::get_if<Hello>(&*message)) {
         hello = *h;
+        bound = true;
+        break;
+      }
+      if (const auto* sh = std::get_if<ShardHello>(&*message)) {
+        hello = Hello{sh->shard, sh->resume};
+        shard_hello = true;
+        shard_weight = sh->monitors;
         bound = true;
         break;
       }
@@ -902,7 +1074,7 @@ void CoordinatorNode::reactor_on_pending(int fd, std::uint32_t events) {
   if (bound) {
     PendingConn taken = std::move(it->second);
     reactor_pending_.erase(it);
-    bind_session(std::move(taken), hello);
+    bind_session(std::move(taken), hello, shard_hello, shard_weight);
     const auto sit = sessions_.find(hello.monitor);
     if (sit != sessions_.end() && sit->second.connected &&
         sit->second.conn.fd() == fd) {

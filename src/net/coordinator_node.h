@@ -52,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,17 @@ struct CoordinatorNodeOptions {
   /// Event-loop selection: -1 follows VOLLEY_POLL_LOOP, 0 forces the epoll
   /// reactor, 1 forces the legacy poll(2) loop (benches run both in-process).
   int poll_loop{-1};
+  // --- shard tier (DESIGN.md §13) -----------------------------------------
+  /// Total downstream weight behind this coordinator's sessions. A *root*
+  /// coordinator over S aggregators sets monitors = S and total_weight = the
+  /// fleet-wide monitor count, so threshold/allowance slices are
+  /// T·w/W and err·w/W per shard (ShardHello carries each w). 0 means
+  /// `monitors` — every session weighs 1, the flat fleet unchanged.
+  std::size_t total_weight{0};
+  /// Invoked from run()'s thread whenever a settled global poll exceeds the
+  /// task's threshold (alongside the GlobalAlert record). An aggregator's
+  /// embedded coordinator uses this to escalate a local violation upstream.
+  std::function<void(TaskId task, Tick tick, double value)> on_alert{};
 };
 
 struct GlobalAlert {
@@ -161,6 +173,17 @@ class CoordinatorNode {
     return registry_load_stats_;
   }
 
+  // --- shard export (thread-safe; read by an embedding AggregatorNode) ----
+  /// The latest settled poll aggregate for a task (0.0 before the first
+  /// poll). An aggregator answers upstream PollRequests with this cached
+  /// value — the net tier's stale-value semantics one level up: the root's
+  /// poll settles with each quiet shard's last known subset aggregate.
+  double shard_aggregate(TaskId task) const;
+  /// Drains the accumulated (r, e, observations) coordination stats per
+  /// live task into upstream ShardSummary frames tagged `shard_id`. r/e/obs
+  /// reset on drain; budget and aggregate persist.
+  std::vector<ShardSummary> drain_shard_summaries(std::uint32_t shard_id);
+
  private:
   struct Session {
     TcpConnection conn;
@@ -175,6 +198,11 @@ class CoordinatorNode {
     std::int64_t suspect_since_ms{0};
     /// Freshest PollResponse per task (stale fallback).
     std::map<TaskId, double> last_values;
+    // Shard sessions (bound via ShardHello): the aggregator's downstream
+    // monitor count is its weight in threshold/allowance splits.
+    bool shard{false};
+    std::uint32_t weight{1};
+    std::int64_t last_summary_ms{-1};  // -1: no ShardSummary yet
   };
 
   struct PendingConn {  // accepted, Hello not yet seen
@@ -204,7 +232,11 @@ class CoordinatorNode {
   };
 
   void handle_message(MonitorId id, Session& session, const Message& message);
-  void bind_session(PendingConn&& pending, const Hello& hello);
+  /// Binds a pending connection to a session. `shard`/`weight` come from a
+  /// ShardHello (an aggregator announcing its downstream monitor count);
+  /// plain Hello binds a weight-1 monitor session.
+  void bind_session(PendingConn&& pending, const Hello& hello,
+                    bool shard = false, std::uint32_t weight = 1);
   /// Answers a StatsRequest on a (pre-Hello) connection with one StatsReply;
   /// the caller then drops the connection — stats clients are not monitors.
   void serve_stats(TcpConnection& conn, const StatsRequest& request);
@@ -214,6 +246,13 @@ class CoordinatorNode {
   ControlReply apply_add(const AddTask& request);
   ControlReply apply_update(const UpdateTask& request);
   ControlReply apply_remove(const RemoveTask& request);
+  /// Applies a task's new error budget *in place*: rescales the live
+  /// allowance split proportionally and pushes allowance frames, without a
+  /// registry epoch bump or TaskAttach churn (UpdateTask would restart every
+  /// downstream sampler). Budgets are volatile — the root re-pushes them
+  /// after every reallocation round — so the durable registry keeps the
+  /// boot-time budget.
+  ControlReply apply_shard_allowance(const ShardAllowance& request);
   TaskListReply build_task_list() const;
   /// Journals the op (durable mode) and records the trace event.
   void persist_and_trace(const control::RegistryOp& op);
@@ -254,7 +293,15 @@ class CoordinatorNode {
   bool send_to(MonitorId id, Session& session, const Message& message);
   bool all_joined() const { return sessions_.size() >= options_.monitors; }
   std::size_t finished_sessions() const;
-  double even_share(const TaskRuntime& rt) const;
+  /// Fleet weight: total_weight when configured (root over shards), else
+  /// the expected monitor count (flat fleet, every session weighs 1).
+  std::size_t total_weight() const {
+    return options_.total_weight != 0 ? options_.total_weight
+                                      : options_.monitors;
+  }
+  std::uint32_t session_weight(MonitorId id) const;
+  /// The task's allowance slice for one session: err · w/W (w = 1 flat).
+  double weighted_share(const TaskRuntime& rt, MonitorId id) const;
 
   CoordinatorNodeOptions options_;
   TcpListener listener_;
@@ -290,6 +337,19 @@ class CoordinatorNode {
   std::vector<GlobalAlert> alerts_;
   NetFaultStats fault_stats_;
   std::map<MonitorId, std::int64_t> reported_ops_;
+
+  /// Per-task upstream export, fed from run()'s thread (finish_poll,
+  /// maybe_reallocate) and drained by an embedding AggregatorNode's
+  /// upstream leg — the only cross-thread state beyond the atomics above.
+  struct ShardExport {
+    double r_sum{0.0};
+    double e_sum{0.0};
+    std::int64_t observations{0};
+    double budget{0.0};
+    double last_aggregate{0.0};
+  };
+  mutable std::mutex shard_export_mu_;
+  std::map<TaskId, ShardExport> shard_export_;
 };
 
 }  // namespace volley::net

@@ -29,6 +29,9 @@ enum class Type : std::uint8_t {
   kTaskListReply = 18,
   kTaskAttach = 19,
   kTaskDetach = 20,
+  kShardHello = 21,
+  kShardSummary = 22,
+  kShardAllowance = 23,
 };
 
 class Writer {
@@ -149,6 +152,13 @@ std::vector<std::byte> encode(const Message& message) {
           w.i64(m.alerts);
           w.str(m.metrics);
           w.str(m.trace_jsonl);
+          w.u32(static_cast<std::uint32_t>(m.shards.size()));
+          for (const auto& row : m.shards) {
+            w.u32(row.shard);
+            w.u32(row.monitors);
+            w.f64(row.allowance);
+            w.i64(row.last_summary_age_ms);
+          }
         } else if constexpr (std::is_same_v<T, AddTask>) {
           w.u8(static_cast<std::uint8_t>(Type::kAddTask));
           w.u32(m.task);
@@ -198,6 +208,24 @@ std::vector<std::byte> encode(const Message& message) {
           w.u8(static_cast<std::uint8_t>(Type::kTaskDetach));
           w.u32(m.task);
           w.u64(m.epoch);
+        } else if constexpr (std::is_same_v<T, ShardHello>) {
+          w.u8(static_cast<std::uint8_t>(Type::kShardHello));
+          w.u32(m.shard);
+          w.u32(m.monitors);
+          w.u8(m.resume ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, ShardSummary>) {
+          w.u8(static_cast<std::uint8_t>(Type::kShardSummary));
+          w.u32(m.shard);
+          w.u32(m.task);
+          w.f64(m.r);
+          w.f64(m.e);
+          w.f64(m.yield);
+          w.f64(m.allowance_used);
+          w.i64(m.observations);
+        } else if constexpr (std::is_same_v<T, ShardAllowance>) {
+          w.u8(static_cast<std::uint8_t>(Type::kShardAllowance));
+          w.u32(m.task);
+          w.f64(m.error_allowance);
         }
       },
       message);
@@ -280,10 +308,20 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
     }
     case Type::kStatsReply: {
       StatsReply m;
+      std::uint32_t shard_count = 0;
       if (!r.i64(m.global_polls) || !r.i64(m.reallocations) ||
           !r.i64(m.alerts) || !r.str(m.metrics) || !r.str(m.trace_jsonl) ||
-          !r.done())
+          !r.u32(shard_count) || shard_count > StatsReply::kMaxShards)
         return std::nullopt;
+      m.shards.reserve(shard_count);
+      for (std::uint32_t i = 0; i < shard_count; ++i) {
+        ShardStatsRow row;
+        if (!r.u32(row.shard) || !r.u32(row.monitors) ||
+            !r.f64(row.allowance) || !r.i64(row.last_summary_age_ms))
+          return std::nullopt;
+        m.shards.push_back(row);
+      }
+      if (!r.done()) return std::nullopt;
       return m;
     }
     case Type::kAddTask: {
@@ -360,6 +398,29 @@ std::optional<Message> decode(std::span<const std::byte> payload) {
       if (!r.u32(m.task) || !r.u64(m.epoch) || !r.done()) return std::nullopt;
       return m;
     }
+    case Type::kShardHello: {
+      ShardHello m;
+      std::uint8_t resume = 0;
+      if (!r.u32(m.shard) || !r.u32(m.monitors) || !r.u8(resume) ||
+          !r.done())
+        return std::nullopt;
+      m.resume = resume != 0;
+      return m;
+    }
+    case Type::kShardSummary: {
+      ShardSummary m;
+      if (!r.u32(m.shard) || !r.u32(m.task) || !r.f64(m.r) || !r.f64(m.e) ||
+          !r.f64(m.yield) || !r.f64(m.allowance_used) ||
+          !r.i64(m.observations) || !r.done())
+        return std::nullopt;
+      return m;
+    }
+    case Type::kShardAllowance: {
+      ShardAllowance m;
+      if (!r.u32(m.task) || !r.f64(m.error_allowance) || !r.done())
+        return std::nullopt;
+      return m;
+    }
   }
   return std::nullopt;
 }
@@ -368,7 +429,8 @@ bool is_control_request(const Message& message) {
   return std::holds_alternative<AddTask>(message) ||
          std::holds_alternative<RemoveTask>(message) ||
          std::holds_alternative<UpdateTask>(message) ||
-         std::holds_alternative<ListTasks>(message);
+         std::holds_alternative<ListTasks>(message) ||
+         std::holds_alternative<ShardAllowance>(message);
 }
 
 }  // namespace volley::net

@@ -128,7 +128,19 @@ struct HeartbeatAck {
 struct StatsRequest {
   static constexpr std::uint32_t kIncludeTrace = 1u << 0;  // fill trace_jsonl
   static constexpr std::uint32_t kMetricsJson = 1u << 1;   // JSON, not Prom
+  static constexpr std::uint32_t kIncludeShards = 1u << 2;  // fill shards
   std::uint32_t flags{0};
+};
+
+/// One shard session row of a StatsReply (kIncludeShards): the aggregator's
+/// id, how many monitors it owns (its weight in the root's threshold and
+/// allowance splits), its current boot-task budget, and how long ago its
+/// last ShardSummary arrived (-1: never).
+struct ShardStatsRow {
+  std::uint32_t shard{0};
+  std::uint32_t monitors{0};
+  double allowance{0.0};
+  std::int64_t last_summary_age_ms{-1};
 };
 
 /// Introspection reply (coordinator -> client): session counters plus the
@@ -143,6 +155,11 @@ struct StatsReply {
   std::int64_t alerts{0};
   std::string metrics;
   std::string trace_jsonl;
+  /// Shard sessions (kIncludeShards); empty otherwise and on flat fleets.
+  std::vector<ShardStatsRow> shards{};
+
+  /// Decode-time sanity cap on the shard row count (cf. kMaxTasks).
+  static constexpr std::uint32_t kMaxShards = 4096;
 };
 
 // --- control plane --------------------------------------------------------
@@ -226,12 +243,53 @@ struct TaskDetach {
   std::uint64_t epoch{0};
 };
 
+// --- shard tier (DESIGN.md §13) -------------------------------------------
+
+/// Aggregator -> root coordinator, in place of Hello: this connection is a
+/// shard session. `shard` is the aggregator's id in the root's monitor-id
+/// space, `monitors` the number of downstream monitors it owns — its weight
+/// in the root's threshold slice T_s = T · w/W and allowance slice
+/// err_s = err · w/W. `resume` works like Hello's (reattach + resync).
+struct ShardHello {
+  std::uint32_t shard{0};
+  std::uint32_t monitors{1};
+  bool resume{false};
+};
+
+/// Aggregator -> root coordinator, once per summary interval per live task:
+/// the compressed (r, e, yield, allowance_used) coordination summary of the
+/// shard's subset since the previous frame. r and e are the *sums* of the
+/// per-monitor averaged gains/allowances drained by the shard's own
+/// reallocation rounds (Coordinator::last_period_stats); yield = r/e is
+/// carried redundantly for observability; allowance_used is the shard's
+/// current budget err_s. The root feeds (r, e) into the identical
+/// allocation algorithm it runs over raw monitors in a flat fleet.
+struct ShardSummary {
+  std::uint32_t shard{0};
+  TaskId task{0};
+  double r{0.0};
+  double e{0.0};
+  double yield{0.0};
+  double allowance_used{0.0};
+  std::int64_t observations{0};
+};
+
+/// Root coordinator -> aggregator: the task's new error budget for this
+/// shard (pushed after each root reallocation round and on resume resync).
+/// Also accepted pre-Hello as a control request: the aggregator loops it
+/// back to its own embedded coordinator over the control path to apply the
+/// budget without restarting samplers (unlike UpdateTask).
+struct ShardAllowance {
+  TaskId task{0};
+  double error_allowance{0.0};
+};
+
 using Message =
     std::variant<Hello, LocalViolation, PollRequest, PollResponse, StatsReport,
                  AllowanceUpdate, Bye, Shutdown, Heartbeat, HeartbeatAck,
                  StatsRequest, StatsReply, AddTask, RemoveTask, UpdateTask,
                  ListTasks, ControlReply, TaskListReply, TaskAttach,
-                 TaskDetach>;
+                 TaskDetach, ShardHello, ShardSummary, ShardAllowance>;
 
 /// True for the frames a control client opens a connection with (served
 /// pre-Hello, one reply, then disconnect — like StatsRequest).

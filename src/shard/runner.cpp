@@ -1,0 +1,135 @@
+#include "shard/runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/error_allocation.h"
+#include "core/monitor.h"
+#include "sim/run_registry.h"
+
+namespace volley::shard {
+
+ShardedCoordinator::AllocatorFactory make_allocator_factory(
+    AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kNone:
+      return nullptr;
+    case AllocatorKind::kEven:
+      return [](std::size_t) -> std::unique_ptr<AllowanceAllocator> {
+        return std::make_unique<EvenAllocation>();
+      };
+    case AllocatorKind::kAdaptive:
+      return [](std::size_t lanes) -> std::unique_ptr<AllowanceAllocator> {
+        AdaptiveAllocation::Options options;
+        options.min_fraction =
+            std::min(options.min_fraction, 0.5 / static_cast<double>(lanes));
+        return std::make_unique<AdaptiveAllocation>(options);
+      };
+  }
+  throw std::invalid_argument("make_allocator_factory: unknown kind");
+}
+
+RunResult run_volley_sharded(const TaskSpec& spec,
+                             std::span<const TimeSeries> monitor_series,
+                             std::span<const double> local_thresholds,
+                             const ShardedRunOptions& options) {
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_volley_sharded: no monitors");
+  const TimeSeries aggregate = TimeSeries::sum(monitor_series);
+  const GroundTruth truth =
+      GroundTruth::from_series(aggregate, spec.global_threshold);
+  return run_volley_sharded(spec, monitor_series, local_thresholds, truth,
+                            options);
+}
+
+RunResult run_volley_sharded(const TaskSpec& spec,
+                             std::span<const TimeSeries> monitor_series,
+                             std::span<const double> local_thresholds,
+                             const GroundTruth& truth,
+                             const ShardedRunOptions& options) {
+  spec.validate();
+  if (monitor_series.empty())
+    throw std::invalid_argument("run_volley_sharded: no monitors");
+  if (monitor_series.size() != local_thresholds.size())
+    throw std::invalid_argument(
+        "run_volley_sharded: thresholds size mismatch");
+  const Tick ticks = monitor_series.front().ticks();
+  for (const auto& s : monitor_series) {
+    if (s.ticks() != ticks)
+      throw std::invalid_argument(
+          "run_volley_sharded: series length mismatch");
+  }
+  {
+    double sum = 0.0;
+    for (double t : local_thresholds) sum += t;
+    const double scale =
+        std::max({std::abs(sum), std::abs(spec.global_threshold), 1.0});
+    if (std::abs(sum - spec.global_threshold) > 1e-6 * scale)
+      throw std::invalid_argument(
+          "run_volley_sharded: local thresholds must sum to the global "
+          "threshold");
+  }
+
+  return with_run_registry([&]() {
+    // Sources must outlive the monitors.
+    std::vector<std::unique_ptr<SeriesSource>> sources;
+    sources.reserve(monitor_series.size());
+    for (const auto& s : monitor_series)
+      sources.push_back(std::make_unique<SeriesSource>(s));
+
+    std::vector<std::unique_ptr<Monitor>> monitors;
+    monitors.reserve(monitor_series.size());
+    for (std::size_t i = 0; i < monitor_series.size(); ++i) {
+      // As in run_volley: the per-monitor allowance is overwritten by each
+      // shard coordinator's initial even split.
+      monitors.push_back(std::make_unique<Monitor>(
+          static_cast<MonitorId>(i), *sources[i],
+          spec.sampler_options(spec.error_allowance), local_thresholds[i]));
+    }
+    ShardedCoordinator coordinator(spec, std::move(monitors), options.shards,
+                                   make_allocator_factory(options.allocator));
+
+    RunResult result;
+    result.ticks = ticks;
+    result.monitors = monitor_series.size();
+    std::vector<char> detected(static_cast<std::size_t>(ticks), 0);
+    std::vector<std::int64_t> prev_ops(monitor_series.size(), 0);
+    if (options.record_ops) result.op_ticks.resize(monitor_series.size());
+
+    for (Tick t = 0; t < ticks; ++t) {
+      const auto tick = coordinator.run_tick(t);
+      if (tick.global_violation) detected[static_cast<std::size_t>(t)] = 1;
+      result.local_violations += tick.local_violations;
+      if (options.record_ops || options.record_intervals) {
+        for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+          const std::int64_t ops = coordinator.monitor(i).total_ops();
+          if (ops != prev_ops[i]) {
+            prev_ops[i] = ops;
+            if (options.record_ops) result.op_ticks[i].push_back(t);
+            if (options.record_intervals && i == 0)
+              result.interval_trajectory.push_back(
+                  coordinator.monitor(0).interval());
+          }
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < coordinator.monitor_count(); ++i) {
+      result.scheduled_ops += coordinator.monitor(i).scheduled_ops();
+      result.forced_ops += coordinator.monitor(i).forced_ops();
+    }
+    result.total_cost = coordinator.total_cost();
+    // Shard polls plus root escalations: with one shard escalations are 0
+    // and this is exactly the flat count.
+    result.global_polls = coordinator.shard_polls() + coordinator.escalations();
+    result.reallocations = coordinator.reallocations();
+
+    score_detection(result, truth, detected);
+    return result;
+  });
+}
+
+}  // namespace volley::shard

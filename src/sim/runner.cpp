@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "control/task_registry.h"
 #include "obs/metrics.h"
+#include "sim/run_registry.h"
 
 namespace volley {
 
@@ -24,23 +25,6 @@ std::unique_ptr<AllowanceAllocator> make_allocator(AllocatorKind kind) {
       return std::make_unique<AdaptiveAllocation>();
   }
   throw std::invalid_argument("make_allocator: unknown kind");
-}
-
-/// Per-run registry scope: instrumentation inside `body` records into a
-/// fresh registry (so the RunResult's metrics_json is run-scoped), which is
-/// then folded into the registry that was current at entry — cumulative
-/// totals survive, and parallel runs never share counter cache lines.
-template <typename Body>
-auto with_run_registry(Body&& body) {
-  obs::MetricsRegistry& parent = obs::metrics();
-  obs::MetricsRegistry run_registry;
-  decltype(body()) result;
-  {
-    obs::ScopedMetricsRegistry scope(run_registry);
-    result = body();
-  }
-  parent.merge_from(run_registry);
-  return result;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   volley_stats port=7601 [host=127.0.0.1] [format=prometheus|json]
 //                [trace=0|1] [timeout_ms=2000]
 //   volley_stats --tasks port=7601 [host=127.0.0.1] [timeout_ms=2000]
+//   volley_stats --shards port=7601 [host=127.0.0.1] [timeout_ms=2000]
 //
 // Connects to a running volleyd_coordinator, sends a StatsRequest in place
 // of Hello, and pretty-prints the single StatsReply: session counters
@@ -11,8 +12,11 @@
 // trace=1 — the newest structured trace events as JSONL. With --tasks it
 // sends a ListTasks control frame instead and prints the live task set:
 // id, epoch, global threshold, task error allowance, and the coordinator's
-// current per-monitor allowance split. The coordinator drops the
-// connection after replying; this tool never counts as a monitor.
+// current per-monitor allowance split. With --shards the StatsRequest asks
+// for the shard-session table (two-tier fleets, DESIGN.md §13): one row per
+// aggregator — monitors owned, current boot-task allowance, and the age of
+// its last ShardSummary. The coordinator drops the connection after
+// replying; this tool never counts as a monitor.
 #include <cstdio>
 #include <array>
 #include <chrono>
@@ -29,11 +33,14 @@ int main(int argc, char** argv) {
   // --tasks is the one flag without '='; Config rejects it, so peel it off
   // before parsing the key=value remainder.
   bool want_tasks = false;
+  bool want_shards = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tasks" || arg == "tasks") {
       want_tasks = true;
+    } else if (arg == "--shards" || arg == "shards") {
+      want_shards = true;
     } else {
       args.push_back(arg);
     }
@@ -46,7 +53,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (config.has("help")) {
-    std::printf("usage: volley_stats [--tasks] port=P [host=H] "
+    std::printf("usage: volley_stats [--tasks] [--shards] port=P [host=H] "
                 "[format=prometheus|json] [trace=0|1] [timeout_ms=MS]\n");
     return 0;
   }
@@ -81,6 +88,7 @@ int main(int argc, char** argv) {
       net::StatsRequest request;
       if (want_trace) request.flags |= net::StatsRequest::kIncludeTrace;
       if (format == "json") request.flags |= net::StatsRequest::kMetricsJson;
+      if (want_shards) request.flags |= net::StatsRequest::kIncludeShards;
       request_message = request;
     }
     if (!conn->send_all(frame_payload(net::encode(request_message)))) {
@@ -143,6 +151,21 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats->global_polls),
                 static_cast<long long>(stats->reallocations),
                 static_cast<long long>(stats->alerts));
+    if (want_shards) {
+      std::printf("# shard sessions: %zu\n", stats->shards.size());
+      std::printf("%6s %10s %14s %18s\n", "shard", "monitors", "allowance",
+                  "last_summary_ms");
+      for (const auto& row : stats->shards) {
+        if (row.last_summary_age_ms < 0) {
+          std::printf("%6u %10u %14.6f %18s\n", row.shard, row.monitors,
+                      row.allowance, "never");
+        } else {
+          std::printf("%6u %10u %14.6f %18lld\n", row.shard, row.monitors,
+                      row.allowance,
+                      static_cast<long long>(row.last_summary_age_ms));
+        }
+      }
+    }
     std::fputs(stats->metrics.c_str(), stdout);
     if (!stats->metrics.empty() && stats->metrics.back() != '\n')
       std::fputc('\n', stdout);

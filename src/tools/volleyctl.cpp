@@ -7,6 +7,8 @@
 //   volleyctl remove port=P task=ID
 //   volleyctl list   port=P
 //   volleyctl watch  port=P [interval_ms=MS] [count=N]
+//   volleyctl shards port=P
+//   volleyctl budget port=P task=ID err=E
 //
 // Common options: host=H (default 127.0.0.1), timeout_ms=MS (default 2000).
 //
@@ -16,6 +18,12 @@
 // the connection after answering, and the tool never counts as a monitor.
 // `watch` re-lists every interval_ms and prints the task table whenever the
 // registry version changes (count=N stops after N lists; 0 = forever).
+//
+// Two-tier fleets (DESIGN.md §13): `shards` lists a root coordinator's
+// shard sessions (one row per aggregator: monitors owned, boot-task
+// allowance, last-summary age); `budget` sets a task's error budget *in
+// place* via ShardAllowance — the live allowance split rescales without the
+// sampler restarts an `update` would cause.
 //
 // Exit status — distinct codes so scripts can branch on the failure class:
 //   0  success
@@ -51,7 +59,9 @@ void usage() {
       "  update task=ID threshold=T [same knobs as add]\n"
       "  remove task=ID\n"
       "  list\n"
-      "  watch  [interval_ms=MS] [count=N]\n");
+      "  watch  [interval_ms=MS] [count=N]\n"
+      "  shards\n"
+      "  budget task=ID err=E\n");
 }
 
 // Exit codes (see the header comment).
@@ -232,6 +242,47 @@ int main(int argc, char** argv) {
       const auto reply = round_trip(host, port, timeout_ms,
                                     net::RemoveTask{task}, exit_code);
       return reply ? print_control_reply(*reply) : exit_code;
+    }
+
+    if (verb == "budget") {
+      if (!config.has("task") || !config.has("err")) {
+        std::fprintf(stderr, "volleyctl: budget needs task=ID err=E\n");
+        return kExitUsage;
+      }
+      const auto task = static_cast<TaskId>(config.get_int("task", 0));
+      const double err = config.get_double("err", 0.0);
+      int exit_code = kExitTransport;
+      const auto reply = round_trip(host, port, timeout_ms,
+                                    net::ShardAllowance{task, err}, exit_code);
+      return reply ? print_control_reply(*reply) : exit_code;
+    }
+
+    if (verb == "shards") {
+      net::StatsRequest request;
+      request.flags |= net::StatsRequest::kIncludeShards;
+      int exit_code = kExitTransport;
+      const auto reply =
+          round_trip(host, port, timeout_ms, request, exit_code);
+      if (!reply) return exit_code;
+      const auto* stats = std::get_if<net::StatsReply>(&*reply);
+      if (!stats) {
+        std::fprintf(stderr, "volleyctl: unexpected reply type\n");
+        return kExitTransport;
+      }
+      std::printf("%zu shard session(s)\n", stats->shards.size());
+      std::printf("%6s %10s %14s %18s\n", "shard", "monitors", "allowance",
+                  "last_summary_ms");
+      for (const auto& row : stats->shards) {
+        if (row.last_summary_age_ms < 0) {
+          std::printf("%6u %10u %14.6f %18s\n", row.shard, row.monitors,
+                      row.allowance, "never");
+        } else {
+          std::printf("%6u %10u %14.6f %18lld\n", row.shard, row.monitors,
+                      row.allowance,
+                      static_cast<long long>(row.last_summary_age_ms));
+        }
+      }
+      return kExitOk;
     }
 
     if (verb == "list" || verb == "watch") {

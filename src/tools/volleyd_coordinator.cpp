@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   if (config.has("help")) {
     std::printf("usage: volleyd_coordinator monitors=N [port=P] "
                 "[threshold=T] [err=E] [allocation=adaptive|even] "
-                "[poll_timeout_ms=MS] [idle_timeout_ms=MS] "
+                "[total_weight=W] [poll_timeout_ms=MS] [idle_timeout_ms=MS] "
                 "[heartbeat_timeout_ms=MS] [staleness_bound_ms=MS] "
                 "[registry=PATH]\n");
     return 0;
@@ -57,6 +57,11 @@ int main(int argc, char** argv) {
     options.staleness_bound_ms =
         static_cast<int>(config.get_int("staleness_bound_ms", 6000));
     options.registry_path = config.get_string("registry", "");
+    // Root of a two-tier fleet (DESIGN.md §13): monitors=S aggregator
+    // sessions, total_weight=the fleet-wide monitor count, so per-shard
+    // threshold/allowance slices are weighted by each ShardHello's w.
+    options.total_weight =
+        static_cast<std::size_t>(config.get_int("total_weight", 0));
 
     net::CoordinatorNode node(options);
     std::printf("volleyd_coordinator: listening on 127.0.0.1:%u for %zu "

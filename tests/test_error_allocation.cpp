@@ -223,5 +223,71 @@ TEST(AdaptiveAllocation, PaperExampleDirection) {
   EXPECT_GT(out[1], out[0]);
 }
 
+// The uniformity throttle, pinned exactly as implemented (and documented in
+// the header): skip iff min_y > 0 and max_y / min_y - 1 < uniformity_band.
+// A skipped round returns `current` verbatim, which is how these tests
+// observe it.
+TEST(AdaptiveAllocation, SkipsWhenYieldRatioInsideBand) {
+  AdaptiveAllocation adaptive;  // uniformity_band = 0.1
+  const std::vector<double> current{0.004, 0.006};
+  // Yields 1.0 and 1.09: max/min - 1 = 0.09 < 0.1 -> skip, allocation kept.
+  const std::vector<CoordStats> s{stats(0.10, 0.10), stats(0.109, 0.10)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_EQ(out, current);
+}
+
+TEST(AdaptiveAllocation, ReallocatesJustOutsideBand) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.005, 0.005};
+  // Yields 1.0 and 1.11: max/min - 1 = 0.11 >= 0.1 -> no skip; allowance
+  // moves toward the higher-yield monitor and the total is preserved.
+  const std::vector<CoordStats> s{stats(0.10, 0.10), stats(0.111, 0.10)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_NE(out, current);
+  EXPECT_GT(out[1], out[0]);
+  EXPECT_NEAR(sum(out), 0.01, 1e-12);
+}
+
+TEST(AdaptiveAllocation, ZeroYieldMonitorDefeatsSkip) {
+  AdaptiveAllocation adaptive;
+  const std::vector<double> current{0.004, 0.003, 0.003};
+  // Positive yields are perfectly uniform, but monitor 0 cannot grow
+  // (y = 0): min_y == 0 must defeat the skip so its allowance flows to
+  // monitors that can use it.
+  const std::vector<CoordStats> s{stats(0.0, 0.10), stats(0.10, 0.10),
+                                  stats(0.10, 0.10)};
+  const auto out = adaptive.allocate(0.01, current, s);
+  EXPECT_NE(out, current);
+  EXPECT_LT(out[0], current[0]);
+  EXPECT_NEAR(sum(out), 0.01, 1e-12);
+}
+
+// Two-level conservation, allocator-only: the root splits err across shard
+// budgets, each shard splits its budget across monitors — the leaf splits
+// must recompose to err exactly (the §13 nesting's bookkeeping invariant).
+TEST(AdaptiveAllocation, NestedTwoLevelSplitConservesErr) {
+  constexpr double kErr = 0.04;
+  AdaptiveAllocation root;
+  const std::vector<double> root_current{0.01, 0.01, 0.01, 0.01};
+  const std::vector<CoordStats> root_stats{
+      stats(0.4, 0.02), stats(0.1, 0.02), stats(0.25, 0.02),
+      stats(0.05, 0.02)};
+  const auto budgets = root.allocate(kErr, root_current, root_stats);
+  EXPECT_NEAR(sum(budgets), kErr, 1e-12);
+
+  double leaf_total = 0.0;
+  for (std::size_t shard = 0; shard < budgets.size(); ++shard) {
+    AdaptiveAllocation leaf;
+    const std::vector<double> current(3, budgets[shard] / 3.0);
+    const std::vector<CoordStats> leaf_stats{
+        stats(0.3, 0.01), stats(0.1 * static_cast<double>(shard + 1), 0.01),
+        stats(0.05, 0.01)};
+    const auto split = leaf.allocate(budgets[shard], current, leaf_stats);
+    EXPECT_NEAR(sum(split), budgets[shard], 1e-12);
+    leaf_total += sum(split);
+  }
+  EXPECT_NEAR(leaf_total, kErr, 1e-12);
+}
+
 }  // namespace
 }  // namespace volley
