@@ -20,10 +20,30 @@
 //            answers the resulting global PollRequest. Reported: p50/p99
 //            violation-to-settle latency from coordinator.poll_settle_ms().
 //
-// Acceptance targets (full mode, N = 1000): idle wakeup reduction >= 5x,
-// sustained report throughput >= 2x. VOLLEY_BENCH_QUICK=1 shrinks the
-// fleet sizes and windows to smoke size. Emits BENCH_net.json (schema
-// checked by the CI bench-smoke job).
+// On top of the legacy-vs-reactor comparison, each fleet size also runs:
+//
+//   multi  — the reactor sharded across VOLLEY_NET_THREADS-style loops
+//            (options.net_threads forces it): accepted sessions round-robin
+//            onto worker loops, ingress arrives home as decoded batches,
+//            egress leaves as one posted batch per loop. Reported as
+//            multi-loop ingest speedup over the single-loop reactor.
+//   uring  — the io_uring backend (options.uring forces it; skipped when the
+//            kernel lacks support): poll readiness arrives via a mmap'd
+//            completion ring, so a loop turn costs one io_uring_enter
+//            instead of epoll_wait + per-fd syscalls. Reported as estimated
+//            syscalls per ingested frame (net/io_counters.h instrumented
+//            wrappers; bench workers use raw send/recv and stay invisible).
+//
+// A per-size identity check pins the single-loop epoll reactor to the same
+// protocol outcomes as the legacy loop (same polls settled over the same
+// script) — the multi-loop/io_uring work must not perturb the default path.
+//
+// Acceptance targets (full mode): at N = 1000, idle wakeup reduction >= 5x
+// and sustained report throughput >= 2x; at N = 4000, multi-loop (>= 2
+// loops) ingest >= 2x the single-loop reactor; io_uring records fewer
+// syscalls per frame than epoll. VOLLEY_BENCH_QUICK=1 shrinks the fleet
+// sizes and windows to smoke size. Emits BENCH_net.json (schema checked by
+// the CI bench-smoke job).
 #include <poll.h>
 #include <pthread.h>
 #include <sys/resource.h>
@@ -45,7 +65,9 @@
 #include "bench/bench_util.h"
 #include "net/coordinator_node.h"
 #include "net/framing.h"
+#include "net/io_counters.h"
 #include "net/messages.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 
 namespace volley {
@@ -61,6 +83,7 @@ using net::PollResponse;
 
 struct BenchConfig {
   std::vector<std::size_t> sizes;
+  std::vector<int> multi_loops;  // reactor loop counts beyond the single loop
   int idle_ms{1000};
   int load_ms{1500};
   int polls{8};
@@ -73,6 +96,8 @@ struct ModeResult {
   double load_cpu_ms{0.0};
   double settle_p50_ms{0.0};
   double settle_p99_ms{0.0};
+  double syscalls_per_frame{0.0};
+  std::size_t polls_settled{0};
 };
 
 double steady_ms() {
@@ -230,8 +255,17 @@ void worker_main(const std::vector<TcpConnection>* fleet,
   }
 }
 
+/// One event-loop configuration for run_mode: the legacy loop, the reactor
+/// with a given loop count, or the reactor on a forced backend.
+struct ModeSpec {
+  int poll_loop{0};
+  int net_threads{1};
+  int uring{0};  // tri-state override: 0 = epoll, 1 = io_uring
+};
+
 /// Runs one fleet size on one event-loop mode end to end.
-std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
+std::optional<ModeResult> run_mode(std::size_t connections,
+                                   const ModeSpec& spec,
                                    const BenchConfig& cfg) {
   net::CoordinatorNodeOptions copt;
   copt.monitors = connections;
@@ -241,7 +275,9 @@ std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
   copt.idle_timeout_ms = 600000;
   copt.heartbeat_timeout_ms = 600000;  // the fleet stays ACTIVE while quiet
   copt.staleness_bound_ms = 600000;
-  copt.poll_loop = poll_loop;
+  copt.poll_loop = spec.poll_loop;
+  copt.net_threads = spec.net_threads;
+  copt.uring = spec.uring;
   net::CoordinatorNode coordinator(copt);
   std::thread coord_thread([&coordinator] { coordinator.run(); });
   clockid_t coord_cpu{};
@@ -327,17 +363,25 @@ std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
   result.idle_cpu_ms = thread_cpu_ms(coord_cpu) - idle_c0;
 
   // Phase 2: load. Workers stream heartbeat batches; count what the
-  // coordinator actually handled.
+  // coordinator actually handled. The io-syscall estimate is process-wide
+  // but the workers bypass the instrumented wrappers (raw send/recv), so the
+  // delta across the window is the coordinator side's syscall budget.
   const auto load_m0 = coordinator.messages_received();
+  const auto load_s0 = net::io_syscalls_estimate();
   const double load_c0 = thread_cpu_ms(coord_cpu);
   const double load_t0 = steady_ms();
   shared.phase.store(kPhaseLoad, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.load_ms));
   shared.phase.store(kPhaseRespond, std::memory_order_release);
   const double load_dt = (steady_ms() - load_t0) / 1000.0;
-  result.load_msgs_per_sec =
-      static_cast<double>(coordinator.messages_received() - load_m0) / load_dt;
+  const auto load_msgs = coordinator.messages_received() - load_m0;
+  const auto load_syscalls = net::io_syscalls_estimate() - load_s0;
+  result.load_msgs_per_sec = static_cast<double>(load_msgs) / load_dt;
   result.load_cpu_ms = thread_cpu_ms(coord_cpu) - load_c0;
+  result.syscalls_per_frame =
+      load_msgs > 0 ? static_cast<double>(load_syscalls) /
+                          static_cast<double>(load_msgs)
+                    : 0.0;
 
   // Let the coordinator digest the load phase's in-flight backlog before
   // timing polls, so settle latency measures the poll, not the queue.
@@ -366,6 +410,7 @@ std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
   const auto settles = coordinator.poll_settle_ms();
   result.settle_p50_ms = percentile(settles, 50.0);
   result.settle_p99_ms = percentile(settles, 99.0);
+  result.polls_settled = settles.size();
   if (settles.size() < static_cast<std::size_t>(cfg.polls)) {
     std::fprintf(stderr, "bench net: only %zu/%d polls settled (N=%zu)\n",
                  settles.size(), cfg.polls, connections);
@@ -378,10 +423,19 @@ std::optional<ModeResult> run_mode(std::size_t connections, int poll_loop,
   return result;
 }
 
+struct MultiLoopResult {
+  int loops{0};
+  ModeResult result;
+};
+
 struct SizeRow {
   std::size_t connections{0};
   ModeResult legacy;
   ModeResult reactor;
+  std::vector<MultiLoopResult> multi;  // sharded reactor, >= 2 loops
+  bool have_uring{false};
+  ModeResult uring;       // io_uring backend, single loop
+  bool identity_ok{true};  // single-loop epoll matched legacy outcomes
 
   double idle_wakeup_reduction() const {
     // +1 on both sides: an idle reactor can legitimately record zero turns.
@@ -393,6 +447,24 @@ struct SizeRow {
                ? reactor.load_msgs_per_sec / legacy.load_msgs_per_sec
                : 0.0;
   }
+  double multi_loop_speedup(int loops) const {
+    for (const auto& m : multi) {
+      if (m.loops == loops && reactor.load_msgs_per_sec > 0.0)
+        return m.result.load_msgs_per_sec / reactor.load_msgs_per_sec;
+    }
+    return 0.0;
+  }
+  double best_multi_loop_speedup() const {
+    double best = 0.0;
+    for (const auto& m : multi) best = std::max(best, multi_loop_speedup(m.loops));
+    return best;
+  }
+  double uring_syscall_ratio() const {
+    // < 1.0 means io_uring needed fewer syscalls per ingested frame.
+    return (have_uring && reactor.syscalls_per_frame > 0.0)
+               ? uring.syscalls_per_frame / reactor.syscalls_per_frame
+               : 0.0;
+  }
 };
 
 void write_json(const std::vector<SizeRow>& rows, bool quick) {
@@ -401,28 +473,52 @@ void write_json(const std::vector<SizeRow>& rows, bool quick) {
     std::fprintf(stderr, "bench net: cannot write BENCH_net.json\n");
     return;
   }
-  std::fprintf(f, "{\"bench\":\"net\",\"quick\":%s,\"sizes\":[",
-               quick ? "true" : "false");
+  std::fprintf(f,
+               "{\"bench\":\"net\",\"quick\":%s,\"uring_supported\":%s,"
+               "\"cores\":%u,\"sizes\":[",
+               quick ? "true" : "false",
+               net::uring_supported() ? "true" : "false",
+               std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SizeRow& row = rows[i];
-    const auto mode_json = [&](const char* name, const ModeResult& m) {
+    const auto mode_body = [&](const ModeResult& m) {
       std::fprintf(f,
-                   "\"%s\":{\"idle_wakeups_per_sec\":%.3f,"
+                   "{\"idle_wakeups_per_sec\":%.3f,"
                    "\"idle_cpu_ms\":%.3f,\"load_msgs_per_sec\":%.1f,"
                    "\"load_cpu_ms\":%.3f,\"settle_p50_ms\":%.3f,"
-                   "\"settle_p99_ms\":%.3f}",
-                   name, m.idle_wakeups_per_sec, m.idle_cpu_ms,
-                   m.load_msgs_per_sec, m.load_cpu_ms, m.settle_p50_ms,
-                   m.settle_p99_ms);
+                   "\"settle_p99_ms\":%.3f,\"syscalls_per_frame\":%.3f}",
+                   m.idle_wakeups_per_sec, m.idle_cpu_ms, m.load_msgs_per_sec,
+                   m.load_cpu_ms, m.settle_p50_ms, m.settle_p99_ms,
+                   m.syscalls_per_frame);
+    };
+    const auto mode_json = [&](const char* name, const ModeResult& m) {
+      std::fprintf(f, "\"%s\":", name);
+      mode_body(m);
     };
     std::fprintf(f, "%s{\"connections\":%zu,", i == 0 ? "" : ",",
                  row.connections);
     mode_json("legacy", row.legacy);
     std::fprintf(f, ",");
     mode_json("reactor", row.reactor);
+    std::fprintf(f, ",\"multi_loop\":[");
+    for (std::size_t m = 0; m < row.multi.size(); ++m) {
+      std::fprintf(f, "%s{\"loops\":%d,\"speedup_vs_single\":%.2f,\"mode\":",
+                   m == 0 ? "" : ",", row.multi[m].loops,
+                   row.multi_loop_speedup(row.multi[m].loops));
+      mode_body(row.multi[m].result);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]");
+    if (row.have_uring) {
+      std::fprintf(f, ",");
+      mode_json("uring", row.uring);
+      std::fprintf(f, ",\"uring_syscall_ratio\":%.3f",
+                   row.uring_syscall_ratio());
+    }
     std::fprintf(f,
-                 ",\"idle_wakeup_reduction\":%.2f,"
+                 ",\"identity_ok\":%s,\"idle_wakeup_reduction\":%.2f,"
                  "\"throughput_speedup\":%.2f}",
+                 row.identity_ok ? "true" : "false",
                  row.idle_wakeup_reduction(), row.throughput_speedup());
   }
   std::fprintf(f, "]}\n");
@@ -434,11 +530,13 @@ int bench_main() {
   BenchConfig cfg;
   if (quick) {
     cfg.sizes = {64, 128};
+    cfg.multi_loops = {2};
     cfg.idle_ms = 300;
     cfg.load_ms = 400;
     cfg.polls = 2;
   } else {
     cfg.sizes = {250, 1000, 4000};
+    cfg.multi_loops = {2, 4};
   }
 
   // Each fleet size needs ~2N fds in this process (client + server side of
@@ -451,11 +549,26 @@ int bench_main() {
     getrlimit(RLIMIT_NOFILE, &nofile);
   }
 
+  const bool uring_ok = net::uring_supported();
   bench::print_header(
-      "bench net scale: epoll reactor vs legacy poll(2) loop",
-      "DESIGN.md §12 — event-driven I/O, batched writev, timer wheel");
+      "bench net scale: legacy poll(2) vs reactor (epoll / io_uring / "
+      "multi-loop)",
+      "DESIGN.md §12+§14 — event-driven I/O, loop sharding, ring batching");
+  if (!uring_ok) {
+    std::printf("  (io_uring unsupported on this kernel: uring rows "
+                "skipped)\n");
+  }
   bench::print_row({"connections", "mode", "idle wps", "idle cpu",
-                    "msgs/sec", "p50 ms", "p99 ms"});
+                    "msgs/sec", "sys/frame", "p50 ms", "p99 ms"});
+  const auto print_mode = [&](const std::string& label,
+                              const std::string& mode, const ModeResult& m) {
+    bench::print_row({label, mode, bench::fmt(m.idle_wakeups_per_sec, 1),
+                      bench::fmt(m.idle_cpu_ms, 1),
+                      bench::fmt(m.load_msgs_per_sec, 0),
+                      bench::fmt(m.syscalls_per_frame, 3),
+                      bench::fmt(m.settle_p50_ms, 2),
+                      bench::fmt(m.settle_p99_ms, 2)});
+  };
 
   std::vector<SizeRow> rows;
   for (const std::size_t n : cfg.sizes) {
@@ -467,42 +580,87 @@ int bench_main() {
     }
     SizeRow row;
     row.connections = n;
-    const auto legacy = run_mode(n, /*poll_loop=*/1, cfg);
-    const auto reactor = run_mode(n, /*poll_loop=*/0, cfg);
+    const auto legacy = run_mode(n, ModeSpec{.poll_loop = 1}, cfg);
+    const auto reactor =
+        run_mode(n, ModeSpec{.net_threads = 1, .uring = 0}, cfg);
     if (!legacy || !reactor) {
       std::fprintf(stderr, "bench net: N=%zu setup failed, skipping\n", n);
       continue;
     }
     row.legacy = *legacy;
     row.reactor = *reactor;
-    bench::print_row({std::to_string(n), "legacy",
-                      bench::fmt(row.legacy.idle_wakeups_per_sec, 1),
-                      bench::fmt(row.legacy.idle_cpu_ms, 1),
-                      bench::fmt(row.legacy.load_msgs_per_sec, 0),
-                      bench::fmt(row.legacy.settle_p50_ms, 2),
-                      bench::fmt(row.legacy.settle_p99_ms, 2)});
-    bench::print_row({"", "reactor",
-                      bench::fmt(row.reactor.idle_wakeups_per_sec, 1),
-                      bench::fmt(row.reactor.idle_cpu_ms, 1),
-                      bench::fmt(row.reactor.load_msgs_per_sec, 0),
-                      bench::fmt(row.reactor.settle_p50_ms, 2),
-                      bench::fmt(row.reactor.settle_p99_ms, 2)});
-    std::printf("  -> idle wakeup reduction %.1fx, throughput %.2fx\n",
-                row.idle_wakeup_reduction(), row.throughput_speedup());
+    // Identity check: the single-loop epoll reactor must carry the scripted
+    // session at least as far as the legacy loop (the legacy run can itself
+    // drop a round to driver timing, so >= rather than == keeps the pin on
+    // the reactor, not on legacy flakiness).
+    row.identity_ok = row.reactor.polls_settled >= row.legacy.polls_settled;
+    if (!row.identity_ok) {
+      std::fprintf(stderr,
+                   "bench net: IDENTITY MISMATCH at N=%zu — reactor settled "
+                   "%zu polls, legacy %zu\n",
+                   n, row.reactor.polls_settled, row.legacy.polls_settled);
+    }
+    print_mode(std::to_string(n), "legacy", row.legacy);
+    print_mode("", "reactor", row.reactor);
+    for (const int loops : cfg.multi_loops) {
+      const auto multi =
+          run_mode(n, ModeSpec{.net_threads = loops, .uring = 0}, cfg);
+      if (!multi) {
+        std::fprintf(stderr, "bench net: N=%zu loops=%d setup failed\n", n,
+                     loops);
+        continue;
+      }
+      row.multi.push_back({loops, *multi});
+      print_mode("", "multi-" + std::to_string(loops), *multi);
+    }
+    if (uring_ok) {
+      const auto uring =
+          run_mode(n, ModeSpec{.net_threads = 1, .uring = 1}, cfg);
+      if (uring) {
+        row.have_uring = true;
+        row.uring = *uring;
+        print_mode("", "uring", *uring);
+      }
+    }
+    std::printf("  -> idle reduction %.1fx, throughput %.2fx, multi-loop "
+                "%.2fx, uring sys/frame ratio %.3f, identity %s\n",
+                row.idle_wakeup_reduction(), row.throughput_speedup(),
+                row.best_multi_loop_speedup(), row.uring_syscall_ratio(),
+                row.identity_ok ? "ok" : "MISMATCH");
     rows.push_back(row);
   }
 
   write_json(rows, quick);
   std::printf("\n-> BENCH_net.json (%zu sizes)\n", rows.size());
+  bool identity_all = true;
+  for (const SizeRow& row : rows) identity_all &= row.identity_ok;
   if (!quick) {
-    // Acceptance gate at N = 1000: >= 5x idle reduction, >= 2x throughput.
+    // Acceptance gates: N = 1000 idle/throughput vs legacy; N = 4000
+    // multi-loop ingest vs the single-loop reactor; io_uring syscall budget.
     for (const SizeRow& row : rows) {
-      if (row.connections != 1000) continue;
-      std::printf("acceptance (N=1000): idle %.1fx (target 5x), "
-                  "throughput %.2fx (target 2x)\n",
-                  row.idle_wakeup_reduction(), row.throughput_speedup());
+      if (row.connections == 1000) {
+        std::printf("acceptance (N=1000): idle %.1fx (target 5x), "
+                    "throughput %.2fx (target 2x)\n",
+                    row.idle_wakeup_reduction(), row.throughput_speedup());
+      }
+      if (row.connections == 4000) {
+        const unsigned cores = std::thread::hardware_concurrency();
+        std::printf("acceptance (N=4000): multi-loop ingest %.2fx over "
+                    "single loop (target 2x%s)\n",
+                    row.best_multi_loop_speedup(),
+                    cores >= 2 ? ""
+                               : "; single-core host, loop parallelism "
+                                 "unavailable — gate needs >= 2 cores");
+      }
+      if (row.have_uring) {
+        std::printf("acceptance (N=%zu): uring %.3f sys/frame vs epoll "
+                    "%.3f (target: fewer)\n",
+                    row.connections, row.uring.syscalls_per_frame,
+                    row.reactor.syscalls_per_frame);
+      }
     }
   }
+  if (!identity_all) return 1;
   return rows.empty() ? 1 : 0;
 }
 

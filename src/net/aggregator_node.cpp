@@ -54,6 +54,8 @@ AggregatorNode::AggregatorNode(const AggregatorNodeOptions& options)
   down.staleness_bound_ms = options.staleness_bound_ms;
   down.registry_path = options.registry_path;
   down.poll_loop = options.poll_loop;
+  down.net_threads = options.net_threads;
+  down.uring = options.uring;
   // A settled subset poll above T_s is the shard's local violation one
   // level up; queue it for the upstream leg (this fires on the embedded
   // coordinator's thread).

@@ -79,6 +79,10 @@ struct AggregatorNodeOptions {
   int staleness_bound_ms{6000};
   std::string registry_path{};
   int poll_loop{-1};
+  /// Embedded coordinator's reactor loop count / backend (DESIGN.md §14):
+  /// -1 follows VOLLEY_NET_THREADS / VOLLEY_URING.
+  int net_threads{-1};
+  int uring{-1};
   // Upstream client knobs (see MonitorNodeOptions).
   int heartbeat_interval_ms{500};
   int summary_interval_ms{500};

@@ -230,8 +230,15 @@ void ChaosProxy::run_poll_loop() {
 // timers armed — zero wakeups until a byte arrives — and a held (delayed or
 // split) frame arms one timer at exactly its due time.
 
+// The proxy stays single-loop on purpose even when VOLLEY_NET_THREADS > 1:
+// every link shares one fault-injection RNG, and sharding links across
+// threads would make drop/delay/split decisions order-dependent — the
+// determinism the fault suites replay against. The readiness backend
+// (epoll / io_uring via VOLLEY_URING) still applies.
 void ChaosProxy::run_reactor() {
   reactor_mode_ = true;
+  VLOG_INFO("chaos_proxy", "reactor backend: ",
+            backend_name(reactor_.backend()));
   reactor_.add_fd(listener_.fd(),
                   [this](std::uint32_t) { reactor_on_accept(); });
   while (!stop_.load()) {

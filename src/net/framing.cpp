@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/io_counters.h"
 #include "obs/metrics.h"
 
 namespace volley {
@@ -100,6 +101,7 @@ FrameWriter::FlushResult FrameWriter::flush(int fd) {
     msg.msg_iovlen = n;
     ssize_t w = 0;
     do {
+      net::count_io_syscalls();
       w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     } while (w < 0 && errno == EINTR);
     if (w < 0) {

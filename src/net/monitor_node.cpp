@@ -330,6 +330,14 @@ MonitorNode::ServiceResult MonitorNode::wait_tick(Tick t,
 
 void MonitorNode::run() {
   reactor_mode_ = !resolve_poll_loop(options_.poll_loop);
+  // One loop per monitor by design — a monitor owns a single upstream
+  // connection, so VOLLEY_NET_THREADS has nothing to shard here. The
+  // readiness backend (epoll / io_uring via VOLLEY_URING) applies to the
+  // tick waits and socket dispatch alike.
+  if (reactor_mode_) {
+    VLOG_DEBUG("monitor", "reactor backend: ",
+               backend_name(reactor_.backend()));
+  }
   backoff_ms_ = options_.reconnect_backoff_ms;
   next_attempt_ms_ = now_ms();
   if (try_attach_session(/*resume=*/false)) {

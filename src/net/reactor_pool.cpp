@@ -1,0 +1,105 @@
+#include "net/reactor_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace volley::net {
+
+std::size_t net_threads_from_env() {
+  const char* v = std::getenv("VOLLEY_NET_THREADS");  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr) return 1;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || n < 1) return 1;
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t resolve_net_threads(int override_count) {
+  if (override_count < 0) return net_threads_from_env();
+  return override_count < 1 ? 1 : static_cast<std::size_t>(override_count);
+}
+
+ReactorPool::ReactorPool(std::size_t n_loops, int uring_override) {
+  if (n_loops < 1) n_loops = 1;
+  const ReactorBackend backend = resolve_backend(uring_override);
+  loops_.reserve(n_loops);
+  queues_.reserve(n_loops);
+  for (std::size_t i = 0; i < n_loops; ++i) {
+    loops_.push_back(std::make_unique<Reactor>(backend));
+    queues_.push_back(std::make_unique<TaskQueue>());
+  }
+}
+
+ReactorPool::~ReactorPool() { stop(); }
+
+void ReactorPool::start() {
+  if (size() <= 1 || running()) return;
+  stop_.store(false, std::memory_order_release);
+  threads_.reserve(size() - 1);
+  for (std::size_t i = 1; i < size(); ++i) {
+    threads_.emplace_back([this, i] { run_worker(i); });
+  }
+}
+
+void ReactorPool::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  wakeup_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ReactorPool::post(std::size_t loop_index, Task task) {
+  TaskQueue& q = *queues_[loop_index];
+  bool was_empty = false;
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    was_empty = q.tasks.empty();
+    q.tasks.push_back(std::move(task));
+  }
+  // A non-empty queue already has a wakeup in flight, or a drain holds the
+  // lock and will swap the new task out with the rest — either way the task
+  // runs without another kick.
+  if (was_empty) loops_[loop_index]->wakeup();
+}
+
+std::size_t ReactorPool::drain_tasks(std::size_t loop_index) {
+  TaskQueue& q = *queues_[loop_index];
+  std::deque<Task> batch;
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    batch.swap(q.tasks);
+  }
+  for (auto& task : batch) task();
+  return batch.size();
+}
+
+std::size_t ReactorPool::next_loop() {
+  if (size() <= 1) return 0;
+  // Round-robin over worker loops only: the home loop runs the protocol
+  // state machine and the listener; session I/O goes to workers.
+  const std::size_t idx = rr_next_;
+  rr_next_ = rr_next_ + 1 < size() ? rr_next_ + 1 : 1;
+  return idx;
+}
+
+void ReactorPool::wakeup_all() {
+  for (auto& loop : loops_) loop->wakeup();
+}
+
+void ReactorPool::enable_loop_stats() {
+  for (std::size_t i = 0; i < size(); ++i) loops_[i]->enable_loop_stats(i);
+}
+
+void ReactorPool::run_worker(std::size_t loop_index) {
+  Reactor& r = *loops_[loop_index];
+  while (!stop_.load(std::memory_order_acquire)) {
+    drain_tasks(loop_index);
+    r.run_once(-1);
+  }
+  // Final drain: a task posted between the last swap and the stop flag
+  // must still run (teardown handoffs rely on it).
+  drain_tasks(loop_index);
+}
+
+}  // namespace volley::net

@@ -5,8 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+
+#include <csignal>
+#include <set>
 
 #include <chrono>
 #include <cstring>
@@ -637,6 +643,82 @@ TEST(Socket, NonblockingRecvReturnsNulloptWhenIdle) {
   EXPECT_FALSE(client.recv_some(buf).has_value());
 }
 
+// Nagle must be off on every connect path — deadline-less, with timeout, and
+// on accepted sockets — or heartbeat/poll frames sit in the kernel for an
+// RTT and the liveness math in the coordinator drifts.
+TEST(Socket, ConnectedSocketsHaveNodelay) {
+  const auto nodelay_on = [](int fd) {
+    int flag = 0;
+    socklen_t len = sizeof(flag);
+    EXPECT_EQ(::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &flag, &len), 0);
+    return flag != 0;
+  };
+  TcpListener listener(0);
+  auto plain = TcpConnection::connect("127.0.0.1", listener.port());
+  auto accepted_plain = listener.accept();
+  ASSERT_TRUE(accepted_plain.has_value());
+  auto timed = TcpConnection::connect("127.0.0.1", listener.port(), 500);
+  auto accepted_timed = listener.accept();
+  ASSERT_TRUE(accepted_timed.has_value());
+  EXPECT_TRUE(nodelay_on(plain.fd()));
+  EXPECT_TRUE(nodelay_on(timed.fd()));
+  EXPECT_TRUE(nodelay_on(accepted_plain->fd()));
+  EXPECT_TRUE(nodelay_on(accepted_timed->fd()));
+}
+
+namespace {
+void eintr_noop_handler(int) {}
+}  // namespace
+
+// connect_with_timeout's poll(2) wait must retry across EINTR (shrinking the
+// remaining budget) instead of reporting a connect failure. A SIGALRM
+// interval timer storms this thread while a deadline'd connect completes
+// against a live listener, and while another attempt times out against a
+// backlog-saturated one — both outcomes must match the storm-free behavior.
+TEST(Socket, ConnectRetriesAcrossEintr) {
+  struct sigaction storm {};
+  storm.sa_handler = eintr_noop_handler;  // no SA_RESTART: syscalls see EINTR
+  sigemptyset(&storm.sa_mask);
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGALRM, &storm, &previous), 0);
+  itimerval interval{};
+  interval.it_interval.tv_usec = 2000;
+  interval.it_value.tv_usec = 2000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &interval, nullptr), 0);
+
+  // Live listener: the connect must succeed despite interrupted polls.
+  {
+    TcpListener listener(0);
+    auto conn = TcpConnection::connect("127.0.0.1", listener.port(), 2000);
+    EXPECT_TRUE(conn.valid());
+  }
+
+  // Saturated backlog: the deadline must still bound the attempt — EINTR
+  // retries shrink the remaining budget rather than restarting it.
+  {
+    TcpListener listener(0);
+    std::vector<TcpConnection> filler;
+    bool failed = false;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      for (int i = 0; i < 100; ++i) {
+        filler.push_back(
+            TcpConnection::connect("127.0.0.1", listener.port(), 250));
+      }
+    } catch (const std::system_error&) {
+      failed = true;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_TRUE(failed);
+    EXPECT_LT(elapsed.count(), 10000);
+  }
+
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &previous, nullptr), 0);
+}
+
 // End-to-end distributed session: one coordinator, three monitors over
 // localhost TCP. Monitor 0 carries a sustained violation window; the other
 // two stay quiet. The coordinator must see global polls and, because the
@@ -740,6 +822,66 @@ TEST(NetIntegration, LegacyPollLoopPathStillCompletesSession) {
   // The legacy loops turn on a cadence whether or not traffic flows.
   EXPECT_GT(proxy.loop_wakeups(), 0);
   EXPECT_GT(coordinator.loop_wakeups(), 0);
+}
+
+// Multi-loop coordinator: with VOLLEY_NET_THREADS-style sharding forced to
+// three loops, a full three-monitor session must complete exactly as on one
+// loop, every session must be pinned to a worker loop (never the home loop,
+// which keeps protocol state), and the round-robin must spread sessions
+// across both workers.
+TEST(NetIntegration, MultiLoopFleetPinsSessionsToWorkerLoops) {
+  constexpr Tick kTicks = 400;
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 3;
+  copt.global_threshold = 10.0;
+  copt.error_allowance = 0.03;
+  copt.poll_loop = 0;    // loop sharding needs the reactor runtime, so the
+                         // test must hold even under VOLLEY_POLL_LOOP=1 CI
+  copt.net_threads = 3;  // home loop + two worker loops
+  net::CoordinatorNode coordinator(copt);
+  ASSERT_EQ(coordinator.net_threads(), 3u);
+
+  std::vector<std::unique_ptr<CallableSource>> sources;
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick t) { return (t >= 200 && t < 260) ? 20.0 : 0.5; }, kTicks));
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick) { return 0.5; }, kTicks));
+  sources.push_back(std::make_unique<CallableSource>(
+      [](Tick) { return 0.5; }, kTicks));
+
+  std::vector<std::unique_ptr<net::MonitorNode>> nodes;
+  for (MonitorId id = 0; id < 3; ++id) {
+    net::MonitorNodeOptions mopt;
+    mopt.id = id;
+    mopt.coordinator_port = coordinator.port();
+    mopt.local_threshold = 10.0 / 3.0;
+    mopt.ticks = kTicks;
+    mopt.updating_period = 100;
+    mopt.tick_micros = 300;
+    nodes.push_back(std::make_unique<net::MonitorNode>(mopt, *sources[id]));
+  }
+
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  std::vector<std::thread> monitor_threads;
+  for (auto& node : nodes) {
+    monitor_threads.emplace_back([&node] { node->run(); });
+  }
+  for (auto& t : monitor_threads) t.join();
+  coord_thread.join();
+
+  EXPECT_GT(coordinator.global_polls(), 0);
+  EXPECT_FALSE(coordinator.alerts().empty());
+  EXPECT_EQ(coordinator.reported_ops().size(), 3u);
+
+  const auto& loops = coordinator.session_loops();
+  ASSERT_EQ(loops.size(), 3u);
+  std::set<std::size_t> used;
+  for (const auto& [id, loop] : loops) {
+    EXPECT_GE(loop, 1u) << "monitor " << id << " landed on the home loop";
+    EXPECT_LT(loop, 3u);
+    used.insert(loop);
+  }
+  EXPECT_EQ(used.size(), 2u) << "round-robin left a worker loop empty";
 }
 
 // The allowance reallocation path: monitors with different volatility run a
@@ -1150,6 +1292,59 @@ TEST(NetFaults, ChaosProxyCutForcesReconnect) {
   EXPECT_FALSE(monitor.coordinator_lost());
   EXPECT_GE(coordinator.fault_stats().reconnects, 1);
   EXPECT_EQ(coordinator.reported_ops().size(), 1u);
+}
+
+// No-migration invariant: with three loops and a single monitor, the first
+// connection round-robins onto worker loop 1. A chaos-proxy cut then forces
+// a reconnect — if session placement were re-drawn per connection the second
+// accept would land on loop 2, so the final map pins the sticky assignment.
+TEST(NetFaults, MultiLoopReconnectKeepsSessionOnItsLoop) {
+  net::CoordinatorNodeOptions copt;
+  copt.monitors = 1;
+  copt.global_threshold = 100.0;
+  copt.error_allowance = 0.02;
+  copt.heartbeat_timeout_ms = 1500;
+  copt.staleness_bound_ms = 6000;
+  copt.poll_loop = 0;  // sharding is reactor-only: pin past VOLLEY_POLL_LOOP
+  copt.net_threads = 3;
+  net::CoordinatorNode coordinator(copt);
+
+  net::ChaosProxyOptions popt;
+  popt.upstream_port = coordinator.port();
+  popt.plan.disconnect_after_frames = 40;
+  popt.plan.max_disconnects = 1;
+  net::ChaosProxy proxy(popt);
+
+  constexpr Tick kTicks = 2000;
+  CallableSource quiet([](Tick) { return 0.5; }, kTicks);
+  net::MonitorNodeOptions mopt;
+  mopt.id = 0;
+  mopt.coordinator_port = proxy.port();
+  mopt.local_threshold = 50.0;
+  mopt.ticks = kTicks;
+  mopt.updating_period = 500;
+  mopt.tick_micros = 400;
+  mopt.heartbeat_interval_ms = 10;
+  mopt.coordinator_timeout_ms = 500;
+  mopt.connect_timeout_ms = 300;
+  mopt.reconnect_backoff_ms = 20;
+  mopt.reconnect_backoff_max_ms = 100;
+  net::MonitorNode monitor(mopt, quiet);
+
+  std::thread coord_thread([&coordinator] { coordinator.run(); });
+  std::thread proxy_thread([&proxy] { proxy.run(); });
+  std::thread monitor_thread([&monitor] { monitor.run(); });
+  monitor_thread.join();
+  coord_thread.join();
+  proxy.request_stop();
+  proxy_thread.join();
+
+  EXPECT_GE(monitor.reconnects(), 1);
+  EXPECT_GE(coordinator.fault_stats().reconnects, 1);
+  EXPECT_EQ(coordinator.reported_ops().size(), 1u);
+  const auto& loops = coordinator.session_loops();
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops.at(0), 1u);  // still on its first-draw loop post-reconnect
 }
 
 // Chaos proxy, message faults: seeded frame drops, delays, and partial
